@@ -1,0 +1,26 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+
+namespace netstore::bench {
+
+inline const std::vector<core::Protocol>& paper_protocols() {
+  static const std::vector<core::Protocol> kProtocols = {
+      core::Protocol::kNfsV2, core::Protocol::kNfsV3, core::Protocol::kNfsV4,
+      core::Protocol::kIscsi};
+  return kProtocols;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace netstore::bench

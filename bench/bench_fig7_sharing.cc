@@ -1,0 +1,41 @@
+// Figure 7: sharing characteristics of directories in multi-client NFS
+// traces (EECS-like and Campus-like synthetic traces; see
+// workloads/traces.h for the substitution rationale).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "workloads/traces.h"
+
+int main() {
+  using namespace netstore;
+  bench::print_header("Figure 7: directory sharing characteristics",
+                      "Radkov et al., FAST'04, Figure 7 (a)-(b)");
+
+  const std::vector<double> intervals = {30,  60,  120, 200, 400,
+                                         600, 800, 1000, 1200};
+
+  for (const workloads::TraceProfile& profile :
+       {workloads::TraceProfile::eecs(), workloads::TraceProfile::campus()}) {
+    const auto events = workloads::generate_trace(profile, 99);
+    const auto points = workloads::analyze_sharing(events, intervals);
+
+    std::printf("\n[%s]  %zu events, %u clients, %u directories\n",
+                profile.name.c_str(), events.size(), profile.clients,
+                profile.directories);
+    std::printf("%-10s | %10s %12s %12s %14s\n", "T (s)", "read-by-1",
+                "written-by-1", "read-multi", "written-multi");
+    std::printf("-----------+----------------------------------------------"
+                "-----\n");
+    for (const auto& p : points) {
+      std::printf("%-10.0f | %10.3f %12.3f %12.3f %14.3f\n", p.interval_s,
+                  p.read_one, p.written_one, p.read_multi, p.written_multi);
+    }
+  }
+  std::printf(
+      "\nPaper: single-client classes dominate at every interval; only a\n"
+      "few percent of directories are read-write shared even at T~1000 s\n"
+      "(4%% EECS, 3.5%% Campus), making §7's consistent caching and\n"
+      "directory delegation cheap.\n");
+  return 0;
+}

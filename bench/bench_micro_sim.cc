@@ -1,0 +1,64 @@
+// google-benchmark micro-benchmarks of the simulator itself: throughput of
+// the hot paths (FS operations over each protocol stack, RAID-5 writes,
+// journal commits).  These guard against performance regressions in the
+// simulation — they do not reproduce a paper table.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "block/mem_device.h"
+#include "core/testbed.h"
+#include "fs/ext3.h"
+
+namespace {
+
+using namespace netstore;
+
+void BM_Ext3CreateWriteUnlink(benchmark::State& state) {
+  sim::Env env;
+  block::MemBlockDevice dev(1 << 20);
+  fs::Ext3Fs::mkfs(dev, {});
+  fs::Ext3Fs fsys(env, dev, {});
+  fsys.mount();
+  std::vector<std::uint8_t> data(8192, 0xAA);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string name = "f" + std::to_string(i++);
+    auto ino = fsys.create(fs::kRootIno, name, 0644);
+    benchmark::DoNotOptimize(ino);
+    (void)fsys.write(*ino, 0, data);
+    (void)fsys.unlink(fs::kRootIno, name);
+  }
+}
+BENCHMARK(BM_Ext3CreateWriteUnlink);
+
+void BM_TestbedMetaOp(benchmark::State& state) {
+  const auto proto = static_cast<core::Protocol>(state.range(0));
+  core::Testbed bed(proto);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    (void)bed.vfs().mkdir("/d" + std::to_string(i++), 0755);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_TestbedMetaOp)
+    ->Arg(static_cast<int>(core::Protocol::kNfsV3))
+    ->Arg(static_cast<int>(core::Protocol::kIscsi));
+
+void BM_Raid5SmallWrite(benchmark::State& state) {
+  block::Raid5Config cfg;
+  cfg.disk.block_count = 1 << 18;
+  block::Raid5Array raid(cfg);
+  std::vector<std::uint8_t> blk(block::kBlockSize, 0x55);
+  sim::Time t = 0;
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    t = raid.write(t, (lba * 977) % (raid.block_count() - 1), 1, blk);
+    lba++;
+  }
+}
+BENCHMARK(BM_Raid5SmallWrite);
+
+}  // namespace
+
+BENCHMARK_MAIN();

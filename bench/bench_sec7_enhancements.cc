@@ -1,0 +1,69 @@
+// §7 evaluation: the proposed NFS enhancements.
+//
+// Part 1 — trace-driven simulation of the strongly-consistent read-only
+// name/attribute cache: meta-data message reduction vs directory-cache
+// size, and the invalidation-callback ratio (the paper reports >N%
+// reduction at a modest cache size and a low callback ratio).
+//
+// Part 2 — live testbed: PostMark-style meta-data workload on plain NFS
+// v3/v4, NFS v4 with the consistent meta-data cache, NFS v4 with
+// directory delegation (aggregated compounds), and iSCSI — showing the
+// enhanced client approaching iSCSI's message counts, the paper's goal.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "workloads/postmark.h"
+#include "workloads/traces.h"
+
+int main() {
+  using namespace netstore;
+  bench::print_header("Section 7: proposed NFS enhancements",
+                      "Radkov et al., FAST'04, §7");
+
+  // --- Part 1: trace-driven consistent-cache simulation ---
+  for (const workloads::TraceProfile& profile :
+       {workloads::TraceProfile::eecs(), workloads::TraceProfile::campus()}) {
+    const auto events = workloads::generate_trace(profile, 99);
+    std::printf("\n[%s] strongly-consistent meta-data cache\n",
+                profile.name.c_str());
+    std::printf("%-12s | %12s | %12s | %10s | %9s\n", "cache (dirs)",
+                "baseline msg", "cached msg", "reduction", "callbacks");
+    std::printf("-------------+--------------+--------------+------------+-"
+                "---------\n");
+    for (std::uint32_t size : {4u, 16u, 64u, 128u, 256u, 512u}) {
+      const auto r = workloads::simulate_consistent_cache(
+          events, profile.clients, size);
+      std::printf("%-12u | %12llu | %12llu | %9.1f%% | %8.4f\n", size,
+                  static_cast<unsigned long long>(r.baseline_messages),
+                  static_cast<unsigned long long>(r.cached_messages),
+                  100.0 * r.reduction(), r.callback_ratio());
+    }
+  }
+
+  // --- Part 2: live testbed comparison ---
+  const bool quick = std::getenv("NETSTORE_QUICK") != nullptr;
+  workloads::PostmarkConfig cfg;
+  cfg.file_pool = 1000;
+  cfg.transactions = quick ? 5000 : 20000;
+
+  std::printf("\n[live testbed] PostMark (%u files, %u transactions)\n",
+              cfg.file_pool, cfg.transactions);
+  std::printf("%-42s | %10s | %10s\n", "protocol", "time (s)", "messages");
+  std::printf("-------------------------------------------+------------+----"
+              "--------\n");
+  for (core::Protocol p :
+       {core::Protocol::kNfsV3, core::Protocol::kNfsV4,
+        core::Protocol::kNfsV4Consistent, core::Protocol::kNfsV4Delegation,
+        core::Protocol::kIscsi}) {
+    core::Testbed bed(p);
+    const auto r = run_postmark(bed, cfg);
+    std::printf("%-42s | %10.1f | %10llu\n", core::to_string(p), r.seconds,
+                static_cast<unsigned long long>(r.messages));
+  }
+  std::printf(
+      "\nPaper's goal: the enhanced NFS v4 client should approach iSCSI\n"
+      "even on meta-data-update-intensive workloads.\n");
+  return 0;
+}

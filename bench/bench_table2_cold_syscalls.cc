@@ -1,0 +1,82 @@
+// Table 2: network message overheads for a cold cache.
+//
+// For each of the seventeen system calls, each protocol, and directory
+// depths 0 and 3, report the number of protocol messages for one
+// invocation starting from fully cold caches (client remounted, server
+// restarted).  Paper values are printed alongside for comparison.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "workloads/microbench.h"
+
+namespace {
+
+// Paper Table 2 values: {op -> {v2,v3,v4,iSCSI} x {depth0, depth3}}.
+struct PaperRow {
+  int d0[4];
+  int d3[4];
+};
+const std::map<std::string, PaperRow> kPaper = {
+    {"mkdir", {{2, 2, 4, 7}, {5, 5, 10, 13}}},
+    {"chdir", {{1, 1, 3, 2}, {4, 4, 9, 8}}},
+    {"readdir", {{2, 2, 4, 6}, {5, 5, 10, 12}}},
+    {"symlink", {{3, 2, 4, 6}, {6, 5, 10, 12}}},
+    {"readlink", {{2, 2, 3, 5}, {5, 5, 9, 10}}},
+    {"unlink", {{2, 2, 4, 6}, {5, 5, 10, 11}}},
+    {"rmdir", {{2, 2, 4, 8}, {5, 5, 10, 14}}},
+    {"creat", {{3, 3, 10, 7}, {6, 6, 16, 13}}},
+    {"open", {{2, 2, 7, 3}, {5, 5, 13, 9}}},
+    {"link", {{4, 4, 7, 6}, {10, 9, 16, 12}}},
+    {"rename", {{4, 3, 7, 6}, {10, 10, 16, 12}}},
+    {"trunc", {{3, 3, 8, 6}, {6, 6, 14, 12}}},
+    {"chmod", {{3, 3, 5, 6}, {6, 6, 11, 12}}},
+    {"chown", {{3, 3, 5, 6}, {6, 6, 11, 11}}},
+    {"access", {{2, 2, 5, 3}, {5, 5, 11, 9}}},
+    {"stat", {{3, 3, 5, 3}, {6, 6, 11, 9}}},
+    {"utime", {{2, 2, 4, 6}, {5, 5, 10, 12}}},
+};
+
+}  // namespace
+
+int main() {
+  using namespace netstore;
+  bench::print_header(
+      "Table 2: network message overheads, COLD cache",
+      "Radkov et al., FAST'04, Table 2 (values in parentheses)");
+
+  std::printf("%-9s | %20s depth 0 %20s | %20s depth 3\n", "", "", "", "");
+  std::printf("%-9s | %11s %11s %11s %11s | %11s %11s %11s %11s\n", "op", "v2",
+              "v3", "v4", "iSCSI", "v2", "v3", "v4", "iSCSI");
+  std::printf("----------+------------------------------------------------"
+              "+------------------------------------------------\n");
+
+  for (const std::string& op : workloads::Microbench::ops()) {
+    std::uint64_t d0[4];
+    std::uint64_t d3[4];
+    for (std::size_t p = 0; p < bench::paper_protocols().size(); ++p) {
+      core::Testbed bed(bench::paper_protocols()[p]);
+      workloads::Microbench mb(bed);
+      d0[p] = mb.cold_op(op, 0);
+    }
+    for (std::size_t p = 0; p < bench::paper_protocols().size(); ++p) {
+      core::Testbed bed(bench::paper_protocols()[p]);
+      workloads::Microbench mb(bed);
+      d3[p] = mb.cold_op(op, 3);
+    }
+    const PaperRow& ref = kPaper.at(op);
+    std::printf("%-9s |", op.c_str());
+    for (int i = 0; i < 4; ++i) {
+      std::printf(" %6llu (%2d)", static_cast<unsigned long long>(d0[i]),
+                  ref.d0[i]);
+    }
+    std::printf(" |");
+    for (int i = 0; i < 4; ++i) {
+      std::printf(" %6llu (%2d)", static_cast<unsigned long long>(d3[i]),
+                  ref.d3[i]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nmeasured (paper)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 5: PostMark — completion times and message counts for 100,000
+// transactions on pools of 1,000 / 5,000 / 25,000 files.
+//
+// NETSTORE_QUICK=1 in the environment scales the run down (10k
+// transactions) for fast CI passes; the full run matches the paper.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "workloads/postmark.h"
+
+int main() {
+  using namespace netstore;
+  bench::print_header("Table 5: PostMark",
+                      "Radkov et al., FAST'04, Table 5 (paper values in "
+                      "parentheses; paper ran 100k transactions)");
+
+  const bool quick = std::getenv("NETSTORE_QUICK") != nullptr;
+  const std::uint32_t txns = quick ? 10000 : 100000;
+
+  struct Row {
+    std::uint32_t pool;
+    double paper_nfs_s, paper_iscsi_s, paper_nfs_msgs, paper_iscsi_msgs;
+  };
+  const Row rows[] = {
+      {1000, 146, 12, 371963, 101},
+      {5000, 201, 35, 451415, 276},
+      {25000, 516, 208, 639128, 66965},
+  };
+
+  std::printf("transactions per run: %u\n\n", txns);
+  std::printf("%-7s | %20s | %26s | %22s\n", "", "time (s)", "messages",
+              "server CPU p95 (%)");
+  std::printf("%-7s | %9s %10s | %12s %13s | %10s %10s\n", "files", "NFSv3",
+              "iSCSI", "NFSv3", "iSCSI", "NFSv3", "iSCSI");
+  std::printf("--------+----------------------+----------------------------"
+              "+----------------------\n");
+
+  for (const Row& row : rows) {
+    workloads::PostmarkConfig cfg;
+    cfg.file_pool = row.pool;
+    cfg.transactions = txns;
+
+    core::Testbed nfs(core::Protocol::kNfsV3);
+    core::Testbed iscsi(core::Protocol::kIscsi);
+    const auto rn = run_postmark(nfs, cfg);
+    const auto ri = run_postmark(iscsi, cfg);
+
+    const double scale = static_cast<double>(txns) / 100000.0;
+    std::printf(
+        "%-7u | %4.0f(%4.0f) %4.0f(%4.0f) | %7llu(%6.0f) %7llu(%6.0f) | "
+        "%10.0f %10.0f\n",
+        row.pool, rn.seconds, row.paper_nfs_s * scale, ri.seconds,
+        row.paper_iscsi_s * scale,
+        static_cast<unsigned long long>(rn.messages),
+        row.paper_nfs_msgs * scale,
+        static_cast<unsigned long long>(ri.messages),
+        row.paper_iscsi_msgs * scale, rn.server_cpu_p95, ri.server_cpu_p95);
+  }
+  std::printf("\nmeasured (paper, scaled to the transaction count above)\n");
+  return 0;
+}

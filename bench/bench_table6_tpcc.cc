@@ -1,0 +1,38 @@
+// Table 6: TPC-C — normalized throughput (tpmC) and message counts.
+// The paper reports normalized values (unaudited runs); so do we.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "workloads/database.h"
+
+int main() {
+  using namespace netstore;
+  bench::print_header("Table 6: TPC-C (OLTP, 4 KB random I/O, 2/3 reads)",
+                      "Radkov et al., FAST'04, Table 6");
+
+  workloads::TpccConfig cfg;
+  if (std::getenv("NETSTORE_QUICK") != nullptr) {
+    cfg.transactions = 500;
+    cfg.database_mb = 512;
+  }
+
+  core::Testbed nfs(core::Protocol::kNfsV3);
+  core::Testbed iscsi(core::Protocol::kIscsi);
+  const auto rn = run_tpcc(nfs, cfg);
+  const auto ri = run_tpcc(iscsi, cfg);
+
+  std::printf("%-26s | %10s | %10s\n", "", "NFS v3", "iSCSI");
+  std::printf("---------------------------+------------+------------\n");
+  std::printf("%-26s | %10.2f | %10.2f\n", "normalized throughput", 1.0,
+              ri.tpm / rn.tpm);
+  std::printf("%-26s | %10s | %10s   (paper: x, 1.08x)\n", "", "", "");
+  std::printf("%-26s | %10llu | %10llu   (paper: 517219, 530745)\n",
+              "messages", static_cast<unsigned long long>(rn.messages),
+              static_cast<unsigned long long>(ri.messages));
+  std::printf("%-26s | %10.0f | %10.0f   (paper Table 9: 13%%, 7%%)\n",
+              "server CPU p95 (%)", rn.server_cpu_p95, ri.server_cpu_p95);
+  std::printf("%-26s | %10.0f | %10.0f   (paper Table 10: 100%%, 100%%)\n",
+              "client CPU p95 (%)", rn.client_cpu_p95, ri.client_cpu_p95);
+  return 0;
+}

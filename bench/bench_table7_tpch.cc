@@ -1,0 +1,36 @@
+// Table 7: TPC-H — normalized throughput (QphH@1GB) and message counts.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "workloads/database.h"
+
+int main() {
+  using namespace netstore;
+  bench::print_header("Table 7: TPC-H (DSS, large scans, 32 KB extents)",
+                      "Radkov et al., FAST'04, Table 7");
+
+  workloads::TpchConfig cfg;
+  if (std::getenv("NETSTORE_QUICK") != nullptr) {
+    cfg.queries = 4;
+    cfg.database_mb = 256;
+  }
+
+  core::Testbed nfs(core::Protocol::kNfsV3);
+  core::Testbed iscsi(core::Protocol::kIscsi);
+  const auto rn = run_tpch(nfs, cfg);
+  const auto ri = run_tpch(iscsi, cfg);
+
+  std::printf("%-26s | %10s | %10s\n", "", "NFS v3", "iSCSI");
+  std::printf("---------------------------+------------+------------\n");
+  std::printf("%-26s | %10.2f | %10.2f   (paper: x, 1.07x)\n",
+              "normalized throughput", 1.0, ri.qph / rn.qph);
+  std::printf("%-26s | %10llu | %10llu   (paper: 261769, 62686)\n",
+              "messages", static_cast<unsigned long long>(rn.messages),
+              static_cast<unsigned long long>(ri.messages));
+  std::printf("%-26s | %10.0f | %10.0f   (paper Table 9: 20%%, 11%%)\n",
+              "server CPU p95 (%)", rn.server_cpu_p95, ri.server_cpu_p95);
+  std::printf("%-26s | %10.0f | %10.0f   (paper Table 10: 100%%, 100%%)\n",
+              "client CPU p95 (%)", rn.client_cpu_p95, ri.client_cpu_p95);
+  return 0;
+}

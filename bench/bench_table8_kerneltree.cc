@@ -1,0 +1,49 @@
+// Table 8: kernel-source-tree operations (tar -xzf / ls -lR / compile /
+// rm -rf) — completion times for NFS v3 vs iSCSI.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "workloads/kerneltree.h"
+
+int main() {
+  using namespace netstore;
+  bench::print_header("Table 8: kernel-tree operations",
+                      "Radkov et al., FAST'04, Table 8 (paper values in "
+                      "parentheses)");
+
+  workloads::KernelTreeConfig cfg;
+  if (std::getenv("NETSTORE_QUICK") != nullptr) {
+    cfg.directories = 80;
+    cfg.files = 1500;
+  }
+
+  core::Testbed nfs(core::Protocol::kNfsV3);
+  core::Testbed iscsi(core::Protocol::kIscsi);
+  const auto rn = run_kernel_tree(nfs, cfg);
+  const auto ri = run_kernel_tree(iscsi, cfg);
+
+  std::printf("tree: %u directories, %u files\n\n", cfg.directories,
+              cfg.files);
+  std::printf("%-22s | %14s | %14s | %20s\n", "benchmark", "NFS v3", "iSCSI",
+              "messages (NFS/iSCSI)");
+  std::printf("-----------------------+----------------+----------------+----"
+              "------------------\n");
+  std::printf("%-22s | %6.0fs (60s)  | %6.0fs (5s)   | %9llu / %llu\n",
+              "tar -xzf", rn.tar_seconds, ri.tar_seconds,
+              static_cast<unsigned long long>(rn.tar_messages),
+              static_cast<unsigned long long>(ri.tar_messages));
+  std::printf("%-22s | %6.0fs (12s)  | %6.0fs (6s)   | %9llu / %llu\n",
+              "ls -lR > /dev/null", rn.ls_seconds, ri.ls_seconds,
+              static_cast<unsigned long long>(rn.ls_messages),
+              static_cast<unsigned long long>(ri.ls_messages));
+  std::printf("%-22s | %6.0fs (222s) | %6.0fs (193s) | %9llu / %llu\n",
+              "kernel compile", rn.compile_seconds, ri.compile_seconds,
+              static_cast<unsigned long long>(rn.compile_messages),
+              static_cast<unsigned long long>(ri.compile_messages));
+  std::printf("%-22s | %6.0fs (40s)  | %6.0fs (22s)  | %9llu / %llu\n",
+              "rm -rf", rn.rm_seconds, ri.rm_seconds,
+              static_cast<unsigned long long>(rn.rm_messages),
+              static_cast<unsigned long long>(ri.rm_messages));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Tables 9 and 10: server and client CPU utilization (95th percentile of
+// 2-second vmstat-style samples) for PostMark, TPC-C and TPC-H.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "workloads/database.h"
+#include "workloads/postmark.h"
+
+int main() {
+  using namespace netstore;
+  bench::print_header(
+      "Tables 9 & 10: server / client CPU utilization (95th percentile)",
+      "Radkov et al., FAST'04, Tables 9 and 10");
+
+  const bool quick = std::getenv("NETSTORE_QUICK") != nullptr;
+
+  double s_nfs[3], s_iscsi[3], c_nfs[3], c_iscsi[3];
+
+  {
+    workloads::PostmarkConfig cfg;
+    cfg.file_pool = 5000;
+    cfg.transactions = quick ? 5000 : 50000;
+    core::Testbed nfs(core::Protocol::kNfsV3);
+    core::Testbed iscsi(core::Protocol::kIscsi);
+    const auto rn = run_postmark(nfs, cfg);
+    const auto ri = run_postmark(iscsi, cfg);
+    s_nfs[0] = rn.server_cpu_p95;
+    s_iscsi[0] = ri.server_cpu_p95;
+    c_nfs[0] = rn.client_cpu_p95;
+    c_iscsi[0] = ri.client_cpu_p95;
+  }
+  {
+    workloads::TpccConfig cfg;
+    if (quick) {
+      cfg.transactions = 500;
+      cfg.database_mb = 512;
+    }
+    core::Testbed nfs(core::Protocol::kNfsV3);
+    core::Testbed iscsi(core::Protocol::kIscsi);
+    const auto rn = run_tpcc(nfs, cfg);
+    const auto ri = run_tpcc(iscsi, cfg);
+    s_nfs[1] = rn.server_cpu_p95;
+    s_iscsi[1] = ri.server_cpu_p95;
+    c_nfs[1] = rn.client_cpu_p95;
+    c_iscsi[1] = ri.client_cpu_p95;
+  }
+  {
+    workloads::TpchConfig cfg;
+    if (quick) {
+      cfg.queries = 4;
+      cfg.database_mb = 256;
+    }
+    core::Testbed nfs(core::Protocol::kNfsV3);
+    core::Testbed iscsi(core::Protocol::kIscsi);
+    const auto rn = run_tpch(nfs, cfg);
+    const auto ri = run_tpch(iscsi, cfg);
+    s_nfs[2] = rn.server_cpu_p95;
+    s_iscsi[2] = ri.server_cpu_p95;
+    c_nfs[2] = rn.client_cpu_p95;
+    c_iscsi[2] = ri.client_cpu_p95;
+  }
+
+  const char* names[3] = {"PostMark", "TPC-C", "TPC-H"};
+  const int paper_server[3][2] = {{77, 13}, {13, 7}, {20, 11}};
+  const int paper_client[3][2] = {{2, 25}, {100, 100}, {100, 100}};
+
+  std::printf("\nTable 9 — SERVER CPU utilization (p95, %%)\n");
+  std::printf("%-10s | %12s | %12s\n", "", "NFS v3", "iSCSI");
+  std::printf("-----------+--------------+--------------\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-10s | %4.0f%% (%3d%%) | %4.0f%% (%3d%%)\n", names[i],
+                s_nfs[i], paper_server[i][0], s_iscsi[i],
+                paper_server[i][1]);
+  }
+
+  std::printf("\nTable 10 — CLIENT CPU utilization (p95, %%)\n");
+  std::printf("%-10s | %12s | %12s\n", "", "NFS v3", "iSCSI");
+  std::printf("-----------+--------------+--------------\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-10s | %4.0f%% (%3d%%) | %4.0f%% (%3d%%)\n", names[i],
+                c_nfs[i], paper_client[i][0], c_iscsi[i],
+                paper_client[i][1]);
+  }
+  std::printf("\nmeasured (paper)\n");
+  return 0;
+}

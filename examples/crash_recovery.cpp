@@ -1,0 +1,65 @@
+// Crash-recovery scenario: the reliability trade-off of paper §2.3.
+//
+// NFS's synchronous meta-data updates are durable the moment the syscall
+// returns; ext3-over-iSCSI acknowledges from the client's cache and only
+// persists at journal commit points (every 5 s).  This example crashes
+// the client at different moments and shows what each stack kept.
+#include <cstdio>
+#include <vector>
+
+#include "core/testbed.h"
+
+using namespace netstore;
+
+namespace {
+
+void crash_after(core::Protocol protocol, sim::Duration delay,
+                 const char* label) {
+  core::Testbed bed(protocol);
+  vfs::Vfs& fs = bed.vfs();
+
+  (void)fs.mkdir("/orders", 0755);
+  bed.settle();  // the directory itself is safely down
+
+  // The "business event": one new order file.
+  auto fd = fs.creat("/orders/invoice-42", 0644);
+  std::vector<std::uint8_t> body(3000, 0x24);
+  (void)fs.write(*fd, 0, body);
+  (void)fs.close(*fd);
+
+  bed.env().advance(delay);
+  bed.crash_client();
+
+  // Recovery: remount (iSCSI replays the client journal; the NFS client
+  // simply reconnects — its updates were already at the server).
+  if (protocol == core::Protocol::kIscsi) {
+    bed.client_fs().mount();
+  } else {
+    bed.nfs_client().unmount();
+    bed.nfs_client().mount();
+  }
+  const bool survived = bed.vfs().stat("/orders/invoice-42").ok();
+  std::printf("  %-28s crash %-18s -> invoice %s\n", core::to_string(protocol),
+              label, survived ? "SURVIVED" : "LOST");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("client-crash semantics (paper section 2.3)\n\n");
+
+  std::printf("immediately after the syscalls return:\n");
+  crash_after(core::Protocol::kNfsV3, sim::milliseconds(1), "at +1 ms");
+  crash_after(core::Protocol::kIscsi, sim::milliseconds(1), "at +1 ms");
+
+  std::printf("\nafter the next ext3 commit point (5 s):\n");
+  crash_after(core::Protocol::kNfsV3, sim::seconds(6), "at +6 s");
+  crash_after(core::Protocol::kIscsi, sim::seconds(6), "at +6 s");
+
+  std::printf(
+      "\niSCSI's meta-data win (update aggregation) is exactly this window:\n"
+      "updates that NFS pushed synchronously sit in the client journal for\n"
+      "up to a commit interval.  Crash inside the window and they're gone;\n"
+      "survive it and the journal replay brings everything back.\n");
+  return 0;
+}

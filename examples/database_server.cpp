@@ -1,0 +1,52 @@
+// Database-server scenario: the data-intensive workload class of the
+// paper's TPC experiments (§5.2) — a transaction profile over a large
+// database file, where the paper found NFS and iSCSI comparable.
+#include <cstdio>
+
+#include "core/testbed.h"
+#include "workloads/database.h"
+
+using namespace netstore;
+
+int main() {
+  std::printf("database-server scenario (OLTP + decision support)\n\n");
+
+  workloads::TpccConfig oltp;
+  oltp.database_mb = 512;  // keep the example snappy
+  oltp.transactions = 800;
+
+  workloads::TpchConfig dss;
+  dss.database_mb = 512;
+  dss.queries = 6;
+
+  std::printf("%-10s | %12s | %12s | %12s | %12s\n", "stack", "OLTP tpm",
+              "OLTP msgs", "DSS QphH", "DSS msgs");
+  std::printf("-----------+--------------+--------------+--------------+----"
+              "----------\n");
+
+  double nfs_tpm = 0;
+  double nfs_qph = 0;
+  for (core::Protocol p : {core::Protocol::kNfsV3, core::Protocol::kIscsi}) {
+    core::Testbed oltp_bed(p);
+    const auto t = run_tpcc(oltp_bed, oltp);
+    core::Testbed dss_bed(p);
+    const auto h = run_tpch(dss_bed, dss);
+    if (p == core::Protocol::kNfsV3) {
+      nfs_tpm = t.tpm;
+      nfs_qph = h.qph;
+    }
+    std::printf("%-10s | %12.0f | %12llu | %12.0f | %12llu\n",
+                core::to_string(p), t.tpm,
+                static_cast<unsigned long long>(t.messages), h.qph,
+                static_cast<unsigned long long>(h.messages));
+    if (p == core::Protocol::kIscsi && nfs_tpm > 0) {
+      std::printf("%-10s | %11.2fx | %12s | %11.2fx | %12s\n",
+                  "normalized", t.tpm / nfs_tpm, "", h.qph / nfs_qph, "");
+    }
+  }
+  std::printf(
+      "\nPaper's finding (Tables 6-7): for these data-intensive profiles\n"
+      "the two protocols are within a few percent of each other — reads\n"
+      "dominate and both stacks serve them equally well.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Mail-server scenario: the meta-data-intensive workload class the
+// paper's PostMark experiments stand in for (§5.1) — lots of small,
+// short-lived files (queue entries, spool files), random churn.
+//
+// Runs the same mail-spool day on every stack, including the paper's §7
+// proposed NFS enhancements, and prints the protocol bill for each.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+#include "sim/rng.h"
+
+using namespace netstore;
+
+namespace {
+
+struct Bill {
+  double seconds;
+  std::uint64_t messages;
+  double server_cpu;
+};
+
+Bill run_mail_day(core::Protocol protocol, std::uint32_t deliveries) {
+  core::Testbed bed(protocol);
+  vfs::Vfs& fs = bed.vfs();
+  sim::Rng rng(1234);
+
+  (void)fs.mkdir("/spool", 0755);
+  (void)fs.mkdir("/spool/incoming", 0755);
+  (void)fs.mkdir("/spool/mailboxes", 0755);
+  for (int u = 0; u < 20; ++u) {
+    (void)fs.mkdir("/spool/mailboxes/user" + std::to_string(u), 0755);
+  }
+  bed.settle();
+  bed.reset_counters();
+  const sim::Time t0 = bed.env().now();
+
+  std::vector<std::string> queue;
+  for (std::uint32_t m = 0; m < deliveries; ++m) {
+    // 1. Message lands in the incoming queue.
+    const std::string qfile = "/spool/incoming/q" + std::to_string(m);
+    auto fd = fs.creat(qfile, 0600);
+    std::vector<std::uint8_t> body(
+        static_cast<std::size_t>(rng.uniform_range(600, 12000)));
+    (void)fs.write(*fd, 0, body);
+    (void)fs.close(*fd);
+    queue.push_back(qfile);
+
+    // 2. The delivery agent moves it into a mailbox (rename + append-read
+    //    pattern), then removes the queue entry.
+    if (queue.size() >= 8) {
+      for (const std::string& q : queue) {
+        const std::string user = std::to_string(rng.uniform(20));
+        const std::string dst =
+            "/spool/mailboxes/user" + user + "/m" + std::to_string(m) + "_" +
+            q.substr(q.rfind('/') + 1);
+        (void)fs.rename(q, dst);
+        (void)fs.stat(dst);  // the IMAP side notices it
+      }
+      queue.clear();
+    }
+    // 3. Users poll their mailboxes (meta-data reads).
+    if (m % 16 == 0) {
+      (void)fs.readdir("/spool/mailboxes/user" +
+                       std::to_string(rng.uniform(20)));
+    }
+  }
+  bed.settle();
+
+  return Bill{sim::to_seconds(bed.env().now() - t0), bed.messages(),
+              bed.server_cpu().utilization_percentile(95, bed.env().now())};
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kDeliveries = 2000;
+  std::printf("mail-server scenario: %u deliveries through the spool\n\n",
+              kDeliveries);
+  std::printf("%-44s | %9s | %9s | %10s\n", "stack", "time (s)", "messages",
+              "srv CPU95");
+  std::printf("---------------------------------------------+-----------+---"
+              "--------+-----------\n");
+  for (core::Protocol p :
+       {core::Protocol::kNfsV3, core::Protocol::kNfsV4,
+        core::Protocol::kNfsV4Consistent, core::Protocol::kNfsV4Delegation,
+        core::Protocol::kIscsi}) {
+    const Bill bill = run_mail_day(p, kDeliveries);
+    std::printf("%-44s | %9.1f | %9llu | %9.0f%%\n", core::to_string(p),
+                bill.seconds, static_cast<unsigned long long>(bill.messages),
+                bill.server_cpu);
+  }
+  std::printf(
+      "\nThis is the paper's headline result in miniature: the block stack\n"
+      "(and the §7-enhanced NFS) aggregate meta-data updates; plain NFS\n"
+      "pays a synchronous round trip per create/rename/unlink.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Branch-office scenario: what happens to each protocol when the "LAN"
+// becomes a WAN (the paper's Figure 6 experiments, §4.6).
+//
+// A remote office syncs a working set to/from central storage at various
+// round-trip latencies; watch NFS's synchronous meta-data and bounded
+// write pool fall off a cliff while iSCSI's asynchronous write-back
+// barely notices — until someone calls fsync.
+#include <cstdio>
+#include <vector>
+
+#include "core/testbed.h"
+
+using namespace netstore;
+
+namespace {
+
+struct Result {
+  double push_s;   // writing the working set
+  double fsync_s;  // making it durable
+};
+
+Result push_working_set(core::Protocol protocol, sim::Duration rtt) {
+  core::Testbed bed(protocol);
+  bed.set_injected_rtt(rtt);
+  vfs::Vfs& fs = bed.vfs();
+  (void)fs.mkdir("/sync", 0755);
+
+  const sim::Time t0 = bed.env().now();
+  std::vector<std::uint8_t> chunk(16 * 1024, 0xA5);
+  vfs::Fd last = 0;
+  for (int f = 0; f < 40; ++f) {
+    auto fd = fs.creat("/sync/doc" + std::to_string(f), 0644);
+    for (int c = 0; c < 4; ++c) {
+      (void)fs.write(*fd, static_cast<std::uint64_t>(c) * chunk.size(), chunk);
+    }
+    (void)fs.close(*fd);
+    last = *fd;
+  }
+  const sim::Time t1 = bed.env().now();
+  (void)fs.fsync(last);
+  const sim::Time t2 = bed.env().now();
+  return Result{sim::to_seconds(t1 - t0), sim::to_seconds(t2 - t1)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("branch-office sync: 40 files x 64 KB over increasing RTT\n\n");
+  std::printf("%-9s | %21s | %21s\n", "", "NFS v3", "iSCSI");
+  std::printf("%-9s | %10s %10s | %10s %10s\n", "RTT (ms)", "push (s)",
+              "fsync (s)", "push (s)", "fsync (s)");
+  std::printf("----------+-----------------------+----------------------\n");
+  for (int ms : {0, 10, 30, 60, 90}) {
+    const Result nfs =
+        push_working_set(core::Protocol::kNfsV3, sim::milliseconds(ms));
+    const Result iscsi =
+        push_working_set(core::Protocol::kIscsi, sim::milliseconds(ms));
+    std::printf("%-9d | %10.2f %10.2f | %10.2f %10.2f\n", ms, nfs.push_s,
+                nfs.fsync_s, iscsi.push_s, iscsi.fsync_s);
+  }
+  std::printf(
+      "\nFigure 6's lesson, scenario-sized: every NFS create/write RPC eats\n"
+      "a WAN round trip once the bounded write pool fills, while the local\n"
+      "ext3-over-iSCSI absorbs the burst and trickles it out behind the\n"
+      "application's back.\n");
+  return 0;
+}

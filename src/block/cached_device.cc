@@ -1,0 +1,146 @@
+#include "block/cached_device.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace netstore::block {
+
+CachedBlockDevice::CachedBlockDevice(BlockDevice& inner,
+                                     std::uint64_t capacity_blocks,
+                                     std::uint64_t dirty_high_water)
+    : inner_(inner),
+      capacity_(capacity_blocks),
+      dirty_high_water_(dirty_high_water) {
+  assert(capacity_ > 0);
+}
+
+CachedBlockDevice::Entry& CachedBlockDevice::touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+  return *lru_.begin();
+}
+
+void CachedBlockDevice::insert(Lba lba, BlockView data, bool dirty) {
+  while (map_.size() >= capacity_) evict_one();
+  lru_.push_front(Entry{lba, std::make_unique<BlockBuf>(), dirty});
+  std::memcpy(lru_.front().data->data(), data.data(), kBlockSize);
+  map_[lba] = lru_.begin();
+  if (dirty) dirty_count_++;
+}
+
+void CachedBlockDevice::evict_one() {
+  assert(!lru_.empty());
+  // Prefer the coldest clean block; fall back to writing back the coldest
+  // dirty block.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (!it->dirty) {
+      stats_.evictions.add(1);
+      map_.erase(it->lba);
+      lru_.erase(std::next(it).base());
+      return;
+    }
+  }
+  Entry& victim = lru_.back();
+  writeback(victim.lba, victim, WriteMode::kAsync);
+  stats_.evictions.add(1);
+  map_.erase(victim.lba);
+  lru_.pop_back();
+}
+
+void CachedBlockDevice::writeback(Lba lba, Entry& e, WriteMode mode) {
+  assert(e.dirty);
+  inner_.write(lba, 1, std::span<const std::uint8_t>{e.data->data(), kBlockSize},
+               mode);
+  e.dirty = false;
+  dirty_count_--;
+  stats_.writebacks.add(1);
+}
+
+void CachedBlockDevice::writeback_oldest_dirty(std::uint64_t target_dirty) {
+  for (auto it = lru_.rbegin(); it != lru_.rend() && dirty_count_ > target_dirty;
+       ++it) {
+    if (it->dirty) writeback(it->lba, *it, WriteMode::kAsync);
+  }
+}
+
+void CachedBlockDevice::read(Lba lba, std::uint32_t nblocks,
+                             std::span<std::uint8_t> out) {
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    std::uint8_t* dst = out.data() + static_cast<std::size_t>(i) * kBlockSize;
+    auto it = map_.find(lba + i);
+    if (it != map_.end()) {
+      stats_.hits.add(1);
+      Entry& e = touch(it->second);
+      std::memcpy(dst, e.data->data(), kBlockSize);
+      continue;
+    }
+    stats_.misses.add(1);
+    // Coalesce the contiguous run of misses into one inner read.
+    std::uint32_t run = 1;
+    while (i + run < nblocks && !map_.contains(lba + i + run)) run++;
+    inner_.read(lba + i, run,
+                std::span<std::uint8_t>{
+                    dst, static_cast<std::size_t>(run) * kBlockSize});
+    for (std::uint32_t j = 0; j < run; ++j) {
+      insert(lba + i + j,
+             BlockView{out.data() +
+                           static_cast<std::size_t>(i + j) * kBlockSize,
+                       kBlockSize},
+             /*dirty=*/false);
+    }
+    if (run > 1) stats_.misses.add(run - 1);
+    i += run - 1;
+  }
+}
+
+void CachedBlockDevice::write(Lba lba, std::uint32_t nblocks,
+                              std::span<const std::uint8_t> data,
+                              WriteMode mode) {
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    BlockView src{data.data() + static_cast<std::size_t>(i) * kBlockSize,
+                  kBlockSize};
+    auto it = map_.find(lba + i);
+    if (it != map_.end()) {
+      Entry& e = touch(it->second);
+      std::memcpy(e.data->data(), src.data(), kBlockSize);
+      if (!e.dirty) {
+        e.dirty = true;
+        dirty_count_++;
+      }
+    } else {
+      insert(lba + i, src, /*dirty=*/true);
+    }
+  }
+  if (mode == WriteMode::kSync) {
+    // Durable semantics: push these blocks (and flush the inner device).
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      auto it = map_.find(lba + i);
+      if (it != map_.end() && it->second->dirty) {
+        writeback(lba + i, *it->second, WriteMode::kSync);
+      }
+    }
+  } else if (dirty_count_ > dirty_high_water_) {
+    writeback_oldest_dirty(dirty_high_water_ / 2);
+  }
+}
+
+void CachedBlockDevice::flush() {
+  for (auto& e : lru_) {
+    if (e.dirty) writeback(e.lba, e, WriteMode::kAsync);
+  }
+  inner_.flush();
+}
+
+void CachedBlockDevice::clear() {
+  flush();
+  lru_.clear();
+  map_.clear();
+  dirty_count_ = 0;
+}
+
+void CachedBlockDevice::drop_without_writeback() {
+  lru_.clear();
+  map_.clear();
+  dirty_count_ = 0;
+}
+
+}  // namespace netstore::block

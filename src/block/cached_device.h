@@ -1,0 +1,78 @@
+// Write-back LRU block cache layered over another BlockDevice.
+//
+// Used by the iSCSI target to model the commercial target's RAM cache
+// (writes acknowledged once cached, flushed to the array in the
+// background), and reusable wherever a caching layer is needed.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "block/device.h"
+#include "sim/stats.h"
+
+namespace netstore::block {
+
+struct CacheStats {
+  sim::Counter hits;
+  sim::Counter misses;
+  sim::Counter writebacks;  // blocks written to the inner device
+  sim::Counter evictions;
+};
+
+class CachedBlockDevice final : public BlockDevice {
+ public:
+  /// `capacity_blocks` bounds resident blocks; `dirty_high_water` triggers
+  /// background write-back of the oldest dirty blocks when exceeded.
+  CachedBlockDevice(BlockDevice& inner, std::uint64_t capacity_blocks,
+                    std::uint64_t dirty_high_water);
+
+  [[nodiscard]] std::uint64_t block_count() const override {
+    return inner_.block_count();
+  }
+
+  void read(Lba lba, std::uint32_t nblocks,
+            std::span<std::uint8_t> out) override;
+  void write(Lba lba, std::uint32_t nblocks,
+             std::span<const std::uint8_t> data, WriteMode mode) override;
+  void flush() override;
+
+  /// Drops every cached block (dirty blocks are written back first), used
+  /// to emulate a server restart with clean shutdown.
+  void clear();
+
+  /// Drops every cached block *without* write-back, used to emulate a
+  /// crash (failure-injection tests).
+  void drop_without_writeback();
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t resident_blocks() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t dirty_blocks() const { return dirty_count_; }
+
+ private:
+  struct Entry {
+    Lba lba;
+    std::unique_ptr<BlockBuf> data;
+    bool dirty = false;
+  };
+  using LruList = std::list<Entry>;
+
+  Entry& touch(LruList::iterator it);
+  void insert(Lba lba, BlockView data, bool dirty);
+  void evict_one();
+  void writeback(Lba lba, Entry& e, WriteMode mode);
+  void writeback_oldest_dirty(std::uint64_t target_dirty);
+
+  BlockDevice& inner_;
+  std::uint64_t capacity_;
+  std::uint64_t dirty_high_water_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<Lba, LruList::iterator> map_;
+  std::uint64_t dirty_count_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace netstore::block

@@ -1,0 +1,60 @@
+// Zero-latency in-memory BlockDevice, for unit tests of layers above the
+// block layer (file system semantics, journal replay) where mechanical
+// timing is irrelevant.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "block/device.h"
+
+namespace netstore::block {
+
+class MemBlockDevice final : public BlockDevice {
+ public:
+  explicit MemBlockDevice(std::uint64_t blocks) : blocks_(blocks) {}
+
+  [[nodiscard]] std::uint64_t block_count() const override { return blocks_; }
+
+  void read(Lba lba, std::uint32_t nblocks,
+            std::span<std::uint8_t> out) override {
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      auto it = store_.find(lba + i);
+      std::uint8_t* dst = out.data() + static_cast<std::size_t>(i) * kBlockSize;
+      if (it == store_.end()) {
+        std::memset(dst, 0, kBlockSize);
+      } else {
+        std::memcpy(dst, it->second->data(), kBlockSize);
+      }
+    }
+    reads_++;
+  }
+
+  void write(Lba lba, std::uint32_t nblocks,
+             std::span<const std::uint8_t> data, WriteMode) override {
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      auto& slot = store_[lba + i];
+      if (!slot) slot = std::make_unique<BlockBuf>();
+      std::memcpy(slot->data(),
+                  data.data() + static_cast<std::size_t>(i) * kBlockSize,
+                  kBlockSize);
+    }
+    writes_++;
+  }
+
+  void flush() override { flushes_++; }
+
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
+
+ private:
+  std::uint64_t blocks_;
+  std::unordered_map<Lba, std::unique_ptr<BlockBuf>> store_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace netstore::block

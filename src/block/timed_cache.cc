@@ -1,0 +1,152 @@
+#include "block/timed_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace netstore::block {
+
+TimedCache::TimedCache(Raid5Array& array, std::uint64_t capacity_blocks,
+                       std::uint64_t dirty_high_water)
+    : array_(array),
+      capacity_(capacity_blocks),
+      dirty_high_water_(dirty_high_water) {
+  assert(capacity_ > 0);
+}
+
+void TimedCache::insert(sim::Time start, Lba lba, BlockView data, bool dirty) {
+  while (map_.size() >= capacity_) {
+    // Evict coldest clean block; write back coldest dirty if none clean.
+    bool evicted = false;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (!it->dirty) {
+        map_.erase(it->lba);
+        lru_.erase(std::next(it).base());
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) {
+      Entry& victim = lru_.back();
+      array_.write(start, victim.lba, 1,
+                   std::span<const std::uint8_t>{victim.data->data(),
+                                                 kBlockSize});
+      dirty_count_--;
+      map_.erase(victim.lba);
+      lru_.pop_back();
+    }
+  }
+  lru_.push_front(Entry{lba, std::make_unique<BlockBuf>(), dirty});
+  std::memcpy(lru_.front().data->data(), data.data(), kBlockSize);
+  map_[lba] = lru_.begin();
+  if (dirty) dirty_count_++;
+}
+
+sim::Time TimedCache::read(sim::Time start, Lba lba, std::uint32_t nblocks,
+                           std::span<std::uint8_t> out) {
+  sim::Time done = start;
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    std::uint8_t* dst = out.data() + static_cast<std::size_t>(i) * kBlockSize;
+    auto it = map_.find(lba + i);
+    if (it != map_.end()) {
+      hits_.add(1);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      std::memcpy(dst, it->second->data->data(), kBlockSize);
+      continue;
+    }
+    // Coalesce the contiguous miss run into one array read.
+    std::uint32_t run = 1;
+    while (i + run < nblocks && !map_.contains(lba + i + run)) run++;
+    misses_.add(run);
+    done = std::max(
+        done, array_.read(start, lba + i, run,
+                          std::span<std::uint8_t>{
+                              dst, static_cast<std::size_t>(run) * kBlockSize}));
+    for (std::uint32_t j = 0; j < run; ++j) {
+      insert(start, lba + i + j,
+             BlockView{out.data() +
+                           static_cast<std::size_t>(i + j) * kBlockSize,
+                       kBlockSize},
+             /*dirty=*/false);
+    }
+    i += run - 1;
+  }
+  return done;
+}
+
+sim::Time TimedCache::write(sim::Time start, Lba lba, std::uint32_t nblocks,
+                            std::span<const std::uint8_t> data) {
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    BlockView src{data.data() + static_cast<std::size_t>(i) * kBlockSize,
+                  kBlockSize};
+    auto it = map_.find(lba + i);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      Entry& e = *it->second;
+      std::memcpy(e.data->data(), src.data(), kBlockSize);
+      if (!e.dirty) {
+        e.dirty = true;
+        dirty_count_++;
+      }
+    } else {
+      insert(start, lba + i, src, /*dirty=*/true);
+    }
+  }
+  if (dirty_count_ > dirty_high_water_) {
+    writeback_down_to(start, dirty_high_water_ / 2);
+  }
+  return start;  // acknowledged from cache
+}
+
+sim::Time TimedCache::writeback_down_to(sim::Time start,
+                                        std::uint64_t target_dirty) {
+  // Gather dirty blocks in LBA order so the array sees sequential runs.
+  std::vector<LruList::iterator> dirty;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    if (it->dirty) dirty.push_back(it);
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const auto& a, const auto& b) { return a->lba < b->lba; });
+
+  sim::Time done = start;
+  std::size_t i = 0;
+  while (i < dirty.size() && dirty_count_ > target_dirty) {
+    // Coalesce a contiguous run into one array write.
+    std::size_t run = 1;
+    while (i + run < dirty.size() &&
+           dirty[i + run]->lba == dirty[i]->lba + run) {
+      run++;
+    }
+    std::vector<std::uint8_t> buf(run * kBlockSize);
+    for (std::size_t j = 0; j < run; ++j) {
+      std::memcpy(buf.data() + j * kBlockSize, dirty[i + j]->data->data(),
+                  kBlockSize);
+      dirty[i + j]->dirty = false;
+      dirty_count_--;
+    }
+    done = std::max(done, array_.write(start, dirty[i]->lba,
+                                       static_cast<std::uint32_t>(run), buf));
+    i += run;
+  }
+  return done;
+}
+
+sim::Time TimedCache::sync(sim::Time start) {
+  return writeback_down_to(start, 0);
+}
+
+void TimedCache::restart() {
+  sync(0);
+  lru_.clear();
+  map_.clear();
+  dirty_count_ = 0;
+}
+
+void TimedCache::crash() {
+  lru_.clear();
+  map_.clear();
+  dirty_count_ = 0;
+}
+
+}  // namespace netstore::block

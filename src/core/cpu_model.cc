@@ -1,0 +1,53 @@
+#include "core/cpu_model.h"
+
+#include <cmath>
+
+namespace netstore::core {
+
+void CpuModel::charge(sim::Time at, sim::Duration busy) {
+  if (busy <= 0) return;
+  total_busy_ += busy;
+  sim::Time t = at;
+  sim::Duration left = busy;
+  while (left > 0) {
+    const auto bin = static_cast<std::size_t>(t / period_);
+    if (bins_.size() <= bin) bins_.resize(bin + 1, 0);
+    const sim::Time bin_end = static_cast<sim::Time>(bin + 1) * period_;
+    const sim::Duration in_bin = std::min<sim::Duration>(left, bin_end - t);
+    bins_[bin] += in_bin;
+    left -= in_bin;
+    t = bin_end;
+  }
+}
+
+std::vector<double> CpuModel::window_bins(sim::Time now) const {
+  const auto first = static_cast<std::size_t>(window_start_ / period_);
+  const auto last = static_cast<std::size_t>(now / period_);
+  std::vector<double> out;
+  for (std::size_t b = first; b <= last; ++b) {
+    const sim::Duration busy = b < bins_.size() ? bins_[b] : 0;
+    out.push_back(std::min(
+        100.0, 100.0 * static_cast<double>(busy) / static_cast<double>(period_)));
+  }
+  return out;
+}
+
+double CpuModel::utilization_percentile(double p, sim::Time now) const {
+  std::vector<double> bins = window_bins(now);
+  if (bins.empty()) return 0.0;
+  std::sort(bins.begin(), bins.end());
+  const double rank = p / 100.0 * static_cast<double>(bins.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  return bins[lo] + (bins[hi] - bins[lo]) * (rank - std::floor(rank));
+}
+
+double CpuModel::utilization_mean(sim::Time now) const {
+  const std::vector<double> bins = window_bins(now);
+  if (bins.empty()) return 0.0;
+  double sum = 0;
+  for (double b : bins) sum += b;
+  return sum / static_cast<double>(bins.size());
+}
+
+}  // namespace netstore::core

@@ -1,0 +1,266 @@
+#include "core/testbed.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace netstore::core {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kNfsV2:
+      return "NFS v2";
+    case Protocol::kNfsV3:
+      return "NFS v3";
+    case Protocol::kNfsV4:
+      return "NFS v4";
+    case Protocol::kNfsV4Consistent:
+      return "NFS v4 + consistent meta-data cache";
+    case Protocol::kNfsV4Delegation:
+      return "NFS v4 + directory delegation";
+    case Protocol::kIscsi:
+      return "iSCSI";
+  }
+  return "?";
+}
+
+Testbed::Testbed(Protocol protocol, TestbedConfig config)
+    : protocol_(protocol),
+      config_(config),
+      server_cpu_(config.cpu_sample_period),
+      client_cpu_(config.cpu_sample_period) {
+  link_ = std::make_unique<net::Link>(env_, config_.link);
+  // Size the array to hold the requested volume.
+  config_.raid.disk.block_count =
+      config_.volume_blocks / (config_.raid.num_disks - 1) +
+      config_.raid.stripe_unit_blocks;
+  raid_ = std::make_unique<block::Raid5Array>(config_.raid);
+
+  if (protocol_ == Protocol::kIscsi) {
+    build_iscsi();
+  } else {
+    build_nfs();
+  }
+}
+
+Testbed::~Testbed() = default;
+
+fs::Ext3Params Testbed::client_fs_params(const TestbedConfig& c) {
+  fs::Ext3Params p;
+  p.bcache_capacity_blocks = c.client_metadata_blocks;
+  p.page_cache.capacity_pages = c.client_cache_pages;
+  p.page_cache.dirty_high_water = c.client_cache_pages / 4;
+  p.commit_interval = c.commit_interval;
+  p.readahead_max = c.fs_readahead_max;
+  if (p.readahead_max == 0) p.readahead_min = 0;
+  return p;
+}
+
+void Testbed::build_iscsi() {
+  target_cache_ = std::make_unique<block::TimedCache>(
+      *raid_, config_.target_cache_blocks, config_.target_cache_blocks / 2);
+  target_ = std::make_unique<iscsi::Target>(*target_cache_,
+                                            config_.volume_blocks);
+  target_->set_cost_hook(
+      [this](sim::Time at, bool is_write, std::uint32_t nblocks) {
+        const sim::Duration d =
+            config_.cpu.server_layer * config_.cpu.iscsi_layers +
+            (is_write ? config_.cpu.server_per_page_write
+                      : config_.cpu.server_per_page_read) *
+                nblocks;
+        server_cpu_.charge(at, d);
+        return d;
+      });
+
+  initiator_ =
+      std::make_unique<iscsi::Initiator>(env_, *link_, *target_, config_.iscsi);
+  initiator_->set_cost_hook([this](sim::Time at, bool, std::uint32_t) {
+    const sim::Duration d = config_.cpu.client_per_command;
+    client_cpu_.charge(at, d);
+    return d;
+  });
+  initiator_->login();
+
+  fs::MkfsOptions mkfs;
+  mkfs.journal_blocks = config_.journal_blocks;
+  fs::Ext3Fs::mkfs(*initiator_, mkfs);
+
+  client_fs_ =
+      std::make_unique<fs::Ext3Fs>(env_, *initiator_, client_fs_params(config_));
+  client_fs_->mount();
+
+  auto local = std::make_unique<vfs::LocalVfs>(env_, *client_fs_);
+  local->set_cost_hook(
+      [this](sim::Time at, vfs::Syscall, std::uint32_t bytes) {
+        const sim::Duration d =
+            config_.cpu.client_fs_syscall +
+            config_.cpu.client_per_page *
+                ((bytes + block::kBlockSize - 1) / block::kBlockSize);
+        client_cpu_.charge(at, d);
+        return d;
+      });
+  vfs_ = std::move(local);
+}
+
+nfs::ClientConfig Testbed::nfs_client_config() const {
+  nfs::ClientConfig c;
+  switch (protocol_) {
+    case Protocol::kNfsV2:
+      c.version = nfs::Version::kV2;
+      break;
+    case Protocol::kNfsV3:
+      c.version = nfs::Version::kV3;
+      break;
+    case Protocol::kNfsV4:
+      c.version = nfs::Version::kV4;
+      break;
+    case Protocol::kNfsV4Consistent:
+      c.version = nfs::Version::kV4;
+      c.consistent_metadata_cache = true;
+      c.v4_read_delegation = true;
+      break;
+    case Protocol::kNfsV4Delegation:
+      c.version = nfs::Version::kV4;
+      c.consistent_metadata_cache = true;
+      c.v4_read_delegation = true;
+      c.directory_delegation = true;
+      break;
+    default:
+      throw std::logic_error("not an NFS protocol");
+  }
+  c.page_cache_capacity = config_.client_cache_pages;
+  c.write_pool_slots = config_.nfs_write_pool_slots;
+  return c;
+}
+
+void Testbed::build_nfs() {
+  server_disk_ = std::make_unique<block::LocalBlockDevice>(env_, *raid_);
+
+  fs::MkfsOptions mkfs;
+  mkfs.journal_blocks = config_.journal_blocks;
+  fs::Ext3Fs::mkfs(*server_disk_, mkfs);
+
+  fs::Ext3Params p;
+  p.bcache_capacity_blocks = config_.server_metadata_blocks;
+  p.page_cache.capacity_pages = config_.server_cache_pages;
+  p.page_cache.dirty_high_water = config_.server_cache_pages / 4;
+  p.commit_interval = config_.commit_interval;
+  server_fs_ = std::make_unique<fs::Ext3Fs>(env_, *server_disk_, p);
+  server_fs_->mount();
+
+  nfs::ServerConfig sc;
+  sc.sync_data = protocol_ == Protocol::kNfsV2;
+  nfs_server_ = std::make_unique<nfs::NfsServer>(env_, *server_fs_, sc);
+  nfs_server_->set_cost_hook(
+      [this](sim::Time at, nfs::Proc proc, std::uint32_t bytes) {
+        std::uint32_t layers = config_.cpu.nfs_layers;
+        // Meta-data requests that miss the server cache traverse the
+        // VFS/FS/block layers repeatedly (paper §5.4).
+        const bool is_meta = proc != nfs::Proc::kRead &&
+                             proc != nfs::Proc::kWrite &&
+                             proc != nfs::Proc::kCommit;
+        if (is_meta) layers += config_.cpu.nfs_meta_miss_layers / 2;
+        sim::Duration d = config_.cpu.server_layer * layers;
+        if (!is_meta) {
+          const sim::Duration per_page =
+              proc == nfs::Proc::kWrite ? config_.cpu.server_per_page_write
+                                        : config_.cpu.server_per_page_read;
+          d += per_page *
+               ((bytes + block::kBlockSize - 1) / block::kBlockSize);
+        }
+        server_cpu_.charge(at, d);
+        return d;
+      });
+
+  rpc_ = std::make_unique<rpc::RpcTransport>(env_, *link_, config_.rpc);
+  nfs_client_ = std::make_unique<nfs::NfsClient>(env_, *rpc_, *nfs_server_,
+                                                 nfs_client_config());
+  nfs_client_->mount();
+
+  auto v = std::make_unique<vfs::NfsVfs>(env_, *nfs_client_);
+  v->set_cost_hook([this](sim::Time at, vfs::Syscall, std::uint32_t bytes) {
+    const sim::Duration d =
+        config_.cpu.client_nfs_syscall +
+        config_.cpu.client_per_page *
+            ((bytes + block::kBlockSize - 1) / block::kBlockSize) / 2;
+    client_cpu_.charge(at, d);
+    return d;
+  });
+  vfs_ = std::move(v);
+}
+
+std::uint64_t Testbed::messages() const {
+  if (protocol_ == Protocol::kIscsi) return initiator_->exchanges();
+  return rpc_->stats().calls.value();
+}
+
+std::uint64_t Testbed::bytes() const { return link_->total_bytes(); }
+
+std::uint64_t Testbed::raw_messages() const { return link_->total_messages(); }
+
+std::uint64_t Testbed::retransmissions() const {
+  return protocol_ == Protocol::kIscsi
+             ? 0
+             : rpc_->stats().retransmissions.value();
+}
+
+void Testbed::reset_counters() {
+  link_->reset_stats();
+  if (protocol_ == Protocol::kIscsi) {
+    initiator_->reset_stats();
+  } else {
+    rpc_->reset_stats();
+  }
+  server_cpu_.begin_window(env_.now());
+  client_cpu_.begin_window(env_.now());
+}
+
+void Testbed::cold_caches() {
+  if (protocol_ == Protocol::kIscsi) {
+    client_fs_->unmount();
+    target_->restart();
+    client_fs_->mount();
+  } else {
+    nfs_client_->unmount();
+    // Server restart: quiesce, drop every server-side cache.
+    server_fs_->unmount();
+    server_fs_->mount();
+    nfs_client_->mount();
+  }
+}
+
+void Testbed::settle(sim::Duration d) { env_.advance(d); }
+
+void Testbed::crash_client() {
+  if (protocol_ == Protocol::kIscsi) {
+    client_fs_->crash();
+  } else {
+    nfs_client_->invalidate_caches();
+  }
+}
+
+fs::Ext3Fs& Testbed::client_fs() {
+  assert(client_fs_);
+  return *client_fs_;
+}
+
+fs::Ext3Fs& Testbed::server_fs() {
+  assert(server_fs_);
+  return *server_fs_;
+}
+
+nfs::NfsClient& Testbed::nfs_client() {
+  assert(nfs_client_);
+  return *nfs_client_;
+}
+
+iscsi::Initiator& Testbed::initiator() {
+  assert(initiator_);
+  return *initiator_;
+}
+
+iscsi::Target& Testbed::target() {
+  assert(target_);
+  return *target_;
+}
+
+}  // namespace netstore::core

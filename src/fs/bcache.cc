@@ -1,0 +1,119 @@
+#include "fs/bcache.h"
+
+#include <cassert>
+
+namespace netstore::fs {
+
+Bcache::Bcache(block::BlockDevice& dev, std::uint64_t capacity_blocks)
+    : dev_(dev), capacity_(capacity_blocks) {
+  assert(capacity_ > 0);
+}
+
+Bcache::Entry& Bcache::insert(block::Lba lba, bool read_from_device) {
+  maybe_evict();
+  lru_.push_front(Entry{lba, std::make_unique<block::BlockBuf>()});
+  const auto it = lru_.begin();
+  // Register before the device read: the read advances the clock, which
+  // may fire daemons that re-enter this cache; they must see a stable
+  // map/LRU.  The entry is pinned (`loading`) until the data is in.
+  map_[lba] = it;
+  if (read_from_device) {
+    it->loading = true;
+    dev_.read(lba, 1,
+              std::span<std::uint8_t>{it->buf->data(), block::kBlockSize});
+    it->loading = false;
+  } else {
+    it->buf->fill(0);
+  }
+  return *it;
+}
+
+void Bcache::maybe_evict() {
+  while (map_.size() >= capacity_) {
+    // Evict the coldest clean block; dirty blocks are pinned, so if all
+    // are dirty, checkpoint the coldest to free it.
+    bool evicted = false;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (!it->dirty && !it->loading) {
+        map_.erase(it->lba);
+        lru_.erase(std::next(it).base());
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) {
+      Entry& victim = lru_.back();
+      if (victim.loading) return;  // everything pinned; grow past capacity
+      checkpoint(victim.lba, block::WriteMode::kAsync);
+      map_.erase(victim.lba);
+      lru_.pop_back();
+    }
+  }
+}
+
+block::BlockBuf& Bcache::get(block::Lba lba) {
+  auto it = map_.find(lba);
+  if (it != map_.end()) {
+    hits_.add(1);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return *lru_.front().buf;
+  }
+  misses_.add(1);
+  return *insert(lba, /*read_from_device=*/true).buf;
+}
+
+block::BlockBuf& Bcache::get_new(block::Lba lba) {
+  auto it = map_.find(lba);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    lru_.front().buf->fill(0);
+    return *lru_.front().buf;
+  }
+  return *insert(lba, /*read_from_device=*/false).buf;
+}
+
+void Bcache::mark_dirty(block::Lba lba) {
+  auto it = map_.find(lba);
+  assert(it != map_.end() && "mark_dirty of a block not in cache");
+  if (!it->second->dirty) {
+    it->second->dirty = true;
+    dirty_count_++;
+  }
+}
+
+bool Bcache::is_dirty(block::Lba lba) const {
+  auto it = map_.find(lba);
+  return it != map_.end() && it->second->dirty;
+}
+
+void Bcache::checkpoint(block::Lba lba, block::WriteMode mode) {
+  auto it = map_.find(lba);
+  if (it == map_.end() || !it->second->dirty) return;
+  Entry& e = *it->second;
+  dev_.write(lba, 1,
+             std::span<const std::uint8_t>{e.buf->data(), block::kBlockSize},
+             mode);
+  e.dirty = false;
+  dirty_count_--;
+}
+
+void Bcache::note_checkpointed(block::Lba lba) {
+  auto it = map_.find(lba);
+  if (it == map_.end() || !it->second->dirty) return;
+  it->second->dirty = false;
+  dirty_count_--;
+}
+
+void Bcache::drop_clean_all() {
+  assert(dirty_count_ == 0 && "dropping cache with dirty blocks");
+  lru_.clear();
+  map_.clear();
+}
+
+void Bcache::crash() {
+  lru_.clear();
+  map_.clear();
+  dirty_count_ = 0;
+}
+
+}  // namespace netstore::fs

@@ -1,0 +1,192 @@
+#include "fs/page_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace netstore::fs {
+
+using block::kBlockSize;
+
+PageCache::PageCache(sim::Env& env, block::BlockDevice& dev,
+                     PageCacheParams params)
+    : env_(env), dev_(dev), params_(params) {}
+
+PageCache::Page* PageCache::lookup(Ino ino, std::uint64_t index) {
+  auto it = pages_.find(Key{ino, index});
+  if (it == pages_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return &it->second;
+}
+
+PageCache::Page& PageCache::emplace(Ino ino, std::uint64_t index,
+                                    block::Lba lba) {
+  evict_if_needed();
+  const Key key{ino, index};
+  lru_.push_front(key);
+  Page& p = pages_[key];
+  p.data = std::make_unique<block::BlockBuf>();
+  p.data->fill(0);
+  p.lba = lba;
+  p.lru_pos = lru_.begin();
+  return p;
+}
+
+void PageCache::evict_if_needed() {
+  while (pages_.size() >= params_.capacity_pages) {
+    // Coldest clean page goes first; if everything is dirty, write back
+    // the aged pages and retry.
+    bool evicted = false;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      auto pit = pages_.find(*it);
+      assert(pit != pages_.end());
+      if (!pit->second.dirty) {
+        lru_.erase(std::next(it).base());
+        pages_.erase(pit);
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) {
+      writeback(nullptr);  // everything; then the loop evicts clean pages
+    }
+  }
+}
+
+const block::BlockBuf* PageCache::find(Ino ino, std::uint64_t index) {
+  Page* p = lookup(ino, index);
+  if (!p) {
+    stats_.misses.add(1);
+    return nullptr;
+  }
+  stats_.hits.add(1);
+  if (p->ready_at > env_.now()) env_.advance_to(p->ready_at);
+  return p->data.get();
+}
+
+bool PageCache::contains(Ino ino, std::uint64_t index) const {
+  return pages_.contains(Key{ino, index});
+}
+
+void PageCache::insert_clean(Ino ino, std::uint64_t index, block::Lba lba,
+                             block::BlockView data, sim::Time ready_at) {
+  Page* existing = lookup(ino, index);
+  Page& p = existing ? *existing : emplace(ino, index, lba);
+  if (p.dirty) return;  // never clobber dirty data with a stale read
+  std::memcpy(p.data->data(), data.data(), kBlockSize);
+  p.lba = lba;
+  p.ready_at = ready_at;
+  if (ready_at > env_.now()) stats_.readahead_pages.add(1);
+}
+
+block::BlockBuf& PageCache::write_page(Ino ino, std::uint64_t index,
+                                       block::Lba lba) {
+  Page* existing = lookup(ino, index);
+  Page& p = existing ? *existing : emplace(ino, index, lba);
+  if (p.ready_at > env_.now()) env_.advance_to(p.ready_at);
+  p.lba = lba;
+  if (!p.dirty) {
+    p.dirty = true;
+    p.dirty_since = env_.now();
+    dirty_count_++;
+  }
+  schedule_flusher();
+  if (dirty_count_ > params_.dirty_high_water) {
+    // bdflush: over the high-water mark, push everything dirty out (the
+    // writes are asynchronous; only the initiator queue throttles us).
+    writeback(nullptr);
+  }
+  return *p.data;
+}
+
+void PageCache::writeback(
+    const std::function<bool(const Key&, const Page&)>& pred) {
+  // Collect dirty pages, sort by LBA, coalesce contiguous runs into large
+  // device writes (this is where iSCSI's big write requests come from).
+  std::vector<std::pair<block::Lba, Page*>> victims;
+  for (auto& [key, page] : pages_) {
+    if (page.dirty && (!pred || pred(key, page))) {
+      victims.emplace_back(page.lba, &page);
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::size_t i = 0;
+  while (i < victims.size()) {
+    std::size_t run = 1;
+    while (i + run < victims.size() &&
+           victims[i + run].first == victims[i].first + run) {
+      run++;
+    }
+    std::vector<std::uint8_t> buf(run * kBlockSize);
+    for (std::size_t j = 0; j < run; ++j) {
+      std::memcpy(buf.data() + j * kBlockSize, victims[i + j].second->data->data(),
+                  kBlockSize);
+      victims[i + j].second->dirty = false;
+      dirty_count_--;
+    }
+    dev_.write(victims[i].first, static_cast<std::uint32_t>(run), buf,
+               block::WriteMode::kAsync);
+    stats_.writeback_pages.add(run);
+    i += run;
+  }
+}
+
+void PageCache::schedule_flusher() {
+  if (flusher_scheduled_ || stopped_) return;
+  flusher_scheduled_ = true;
+  env_.schedule_after(params_.flush_interval,
+                      [this, alive = std::weak_ptr<int>(alive_)] {
+    if (alive.expired()) return;
+    flusher_scheduled_ = false;
+    if (stopped_) return;
+    const sim::Time now = env_.now();
+    writeback([&](const Key&, const Page& p) {
+      return now - p.dirty_since >= params_.max_dirty_age;
+    });
+    if (dirty_count_ > 0) schedule_flusher();
+  });
+}
+
+void PageCache::drop_inode(Ino ino, std::uint64_t from_index) {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (it->first.ino == ino && it->first.index >= from_index) {
+      if (it->second.dirty) dirty_count_--;
+      lru_.erase(it->second.lru_pos);
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageCache::flush_inode(Ino ino) {
+  writeback([&](const Key& k, const Page&) { return k.ino == ino; });
+  dev_.flush();
+}
+
+void PageCache::flush_all(bool wait) {
+  writeback(nullptr);
+  if (wait) dev_.flush();
+}
+
+void PageCache::clear() {
+  stopped_ = true;
+  flush_all(true);
+  pages_.clear();
+  lru_.clear();
+  dirty_count_ = 0;
+  stopped_ = false;
+}
+
+void PageCache::crash() {
+  stopped_ = true;
+  pages_.clear();
+  lru_.clear();
+  dirty_count_ = 0;
+  stopped_ = false;
+}
+
+}  // namespace netstore::fs

@@ -1,0 +1,123 @@
+// File-data page cache with read-ahead and age/pressure-based write-back.
+//
+// Models the Linux 2.4 page cache + bdflush/kupdated behaviour the paper's
+// iSCSI client relied on: data writes land in memory and are flushed
+// asynchronously (large coalesced writes — the 128 KB mean request size of
+// Table 4), while sequential reads trigger a read-ahead window.
+//
+// Pages remember the disk block they map to (assigned by the file system
+// at insertion), so write-back needs no callback into the FS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "block/device.h"
+#include "sim/env.h"
+#include "sim/stats.h"
+#include "fs/types.h"
+
+namespace netstore::fs {
+
+struct PageCacheParams {
+  std::uint64_t capacity_pages = 64 * 1024;      // 256 MB
+  std::uint64_t dirty_high_water = 16 * 1024;    // start write-back beyond
+  sim::Duration flush_interval = sim::seconds(5);   // kupdated period
+  sim::Duration max_dirty_age = sim::seconds(30);   // flush pages older
+};
+
+struct PageCacheStats {
+  sim::Counter hits;
+  sim::Counter misses;
+  sim::Counter writeback_pages;
+  sim::Counter readahead_pages;
+};
+
+class PageCache {
+ public:
+  PageCache(sim::Env& env, block::BlockDevice& dev, PageCacheParams params);
+
+  /// Looks up (ino, page index).  On a hit returns the page data, blocking
+  /// until any in-flight read-ahead for it completes.  nullptr on miss.
+  const block::BlockBuf* find(Ino ino, std::uint64_t index);
+
+  /// True if the page is resident or in flight (no blocking).
+  [[nodiscard]] bool contains(Ino ino, std::uint64_t index) const;
+
+  /// Inserts a clean page read from `lba`; `ready_at` is when the data is
+  /// valid (read-ahead completion time; use env.now() for demand reads).
+  void insert_clean(Ino ino, std::uint64_t index, block::Lba lba,
+                    block::BlockView data, sim::Time ready_at);
+
+  /// Returns a mutable buffer for the page, marking it dirty.  The page is
+  /// created zero-filled if absent.  `lba` is the disk block backing it.
+  block::BlockBuf& write_page(Ino ino, std::uint64_t index, block::Lba lba);
+
+  /// Drops all pages of `ino` at or beyond `from_index` (truncate/unlink);
+  /// dirty contents are discarded.
+  void drop_inode(Ino ino, std::uint64_t from_index = 0);
+
+  /// fsync: writes `ino`'s dirty pages and blocks until durable.
+  void flush_inode(Ino ino);
+
+  /// Writes every dirty page (async).  `wait` adds a device flush barrier.
+  void flush_all(bool wait);
+
+  /// Unmount: flush and drop everything.
+  void clear();
+
+  /// Crash: dirty data is lost.
+  void crash();
+
+  [[nodiscard]] const PageCacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t resident_pages() const { return pages_.size(); }
+  [[nodiscard]] std::uint64_t dirty_pages() const { return dirty_count_; }
+
+ private:
+  struct Key {
+    Ino ino;
+    std::uint64_t index;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()(k.ino * 0x9E3779B97F4A7C15ull ^
+                                        k.index);
+    }
+  };
+  struct Page {
+    std::unique_ptr<block::BlockBuf> data;
+    block::Lba lba = 0;
+    bool dirty = false;
+    sim::Time ready_at = 0;     // read-ahead completion
+    sim::Time dirty_since = 0;  // first dirtying in this epoch
+    std::list<Key>::iterator lru_pos;
+  };
+
+  Page* lookup(Ino ino, std::uint64_t index);
+  Page& emplace(Ino ino, std::uint64_t index, block::Lba lba);
+  void evict_if_needed();
+  /// Writes dirty pages selected by `pred` (nullptr = all), coalescing
+  /// LBA-contiguous runs; async device writes.
+  void writeback(const std::function<bool(const Key&, const Page&)>& pred);
+  void schedule_flusher();
+
+  sim::Env& env_;
+  block::BlockDevice& dev_;
+  PageCacheParams params_;
+  // Guards scheduled flusher callbacks against outliving this object
+  // (remount destroys the cache while events may still be queued).
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+  std::unordered_map<Key, Page, KeyHash> pages_;
+  std::list<Key> lru_;  // front = most recent
+  std::uint64_t dirty_count_ = 0;
+  bool flusher_scheduled_ = false;
+  bool stopped_ = false;
+  PageCacheStats stats_;
+};
+
+}  // namespace netstore::fs

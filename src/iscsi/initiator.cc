@@ -1,0 +1,193 @@
+#include "iscsi/initiator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "iscsi/pdu.h"
+
+namespace netstore::iscsi {
+
+using block::kBlockSize;
+using net::Direction;
+
+Initiator::Initiator(sim::Env& env, net::Link& link, Target& target,
+                     SessionParams params)
+    : env_(env), link_(link), target_(target), params_(params) {}
+
+void Initiator::login() {
+  assert(state_ != SessionState::kLoggedIn);
+  const sim::Time req = link_.send(
+      Direction::kClientToServer, pdu_size(params_.login_negotiation_bytes));
+  const sim::Time resp = link_.send_at(
+      Direction::kServerToClient, pdu_size(params_.login_negotiation_bytes),
+      req);
+  env_.advance_to(resp);
+  exchanges_.add(1);
+  state_ = SessionState::kLoggedIn;
+}
+
+void Initiator::logout() {
+  assert(state_ == SessionState::kLoggedIn);
+  flush();
+  const sim::Time req =
+      link_.send(Direction::kClientToServer, pdu_size(0));
+  const sim::Time resp =
+      link_.send_at(Direction::kServerToClient, pdu_size(0), req);
+  env_.advance_to(resp);
+  exchanges_.add(1);
+  state_ = SessionState::kLoggedOut;
+}
+
+sim::Time Initiator::issue_read(block::Lba lba, std::uint32_t nblocks,
+                                std::span<std::uint8_t> out) {
+  assert(state_ == SessionState::kLoggedIn);
+  exchanges_.add(1);
+  sim::Time t = env_.now();
+  if (cost_hook_) t += cost_hook_(t, /*is_write=*/false, nblocks);
+
+  // Command PDU.
+  const scsi::Cdb cdb = scsi::Cdb::read10(lba, nblocks);
+  sim::Time at_target = link_.send_at(Direction::kClientToServer,
+                                      pdu_size(0), t);
+
+  // Target executes.
+  scsi::CommandResult result;
+  const sim::Time served = target_.serve(cdb, at_target, out, {}, result);
+  if (!result.ok()) {
+    // Sense travels back in the response PDU.
+    const sim::Time resp = link_.send_at(Direction::kServerToClient,
+                                         pdu_size(32), served);
+    env_.advance_to(resp);
+    throw std::runtime_error("iSCSI READ failed: " +
+                             scsi::to_string(cdb.op));
+  }
+
+  // Data-In PDUs, segmented; status piggybacks on the final one
+  // (phase-collapse, standard for good-status reads).  Segments stream
+  // back-to-back — the link serializes their transmission; they do not
+  // wait for each other's arrival.
+  std::uint64_t remaining =
+      static_cast<std::uint64_t>(nblocks) * kBlockSize;
+  sim::Time last = served;
+  while (remaining > 0) {
+    const std::uint32_t seg = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        remaining, params_.max_recv_data_segment_length));
+    last = std::max(
+        last, link_.send_at(Direction::kServerToClient, pdu_size(seg), served));
+    remaining -= seg;
+  }
+  return last;
+}
+
+sim::Time Initiator::issue_write(block::Lba lba, std::uint32_t nblocks,
+                                 std::span<const std::uint8_t> data) {
+  assert(state_ == SessionState::kLoggedIn);
+  exchanges_.add(1);
+  write_commands_.add(1);
+  write_bytes_.add(static_cast<std::uint64_t>(nblocks) * kBlockSize);
+
+  sim::Time t = env_.now();
+  if (cost_hook_) t += cost_hook_(t, /*is_write=*/true, nblocks);
+
+  const std::uint64_t total = static_cast<std::uint64_t>(nblocks) * kBlockSize;
+
+  // Command PDU carries immediate data up to the first segment limit.
+  std::uint64_t remaining = total;
+  const std::uint32_t immediate =
+      params_.immediate_data
+          ? static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                remaining, params_.max_recv_data_segment_length))
+          : 0;
+  sim::Time last = link_.send_at(Direction::kClientToServer,
+                                 pdu_size(immediate), t);
+  remaining -= immediate;
+
+  // Remaining data as Data-Out PDUs (InitialR2T=no: unsolicited),
+  // streamed back-to-back on the wire.
+  while (remaining > 0) {
+    const std::uint32_t seg = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        remaining, params_.max_recv_data_segment_length));
+    last = std::max(last, link_.send_at(Direction::kClientToServer,
+                                        pdu_size(seg), t));
+    remaining -= seg;
+  }
+
+  scsi::CommandResult result;
+  const scsi::Cdb cdb = scsi::Cdb::write10(lba, nblocks);
+  const sim::Time served =
+      target_.serve(cdb, last, {}, data.subspan(0, total), result);
+  if (!result.ok()) {
+    throw std::runtime_error("iSCSI WRITE failed: " +
+                             scsi::to_string(cdb.op));
+  }
+  return link_.send_at(Direction::kServerToClient, pdu_size(0), served);
+}
+
+void Initiator::reserve_queue_slot() {
+  while (!outstanding_.empty() && outstanding_.top() <= env_.now()) {
+    outstanding_.pop();
+  }
+  while (outstanding_.size() >= params_.queue_depth) {
+    env_.advance_to(outstanding_.top());
+    outstanding_.pop();
+  }
+}
+
+void Initiator::read(block::Lba lba, std::uint32_t nblocks,
+                     std::span<std::uint8_t> out) {
+  std::uint32_t done = 0;
+  const std::uint32_t burst_blocks = params_.max_burst_length / kBlockSize;
+  while (done < nblocks) {
+    const std::uint32_t n = std::min(nblocks - done, burst_blocks);
+    const sim::Time complete = issue_read(
+        lba + done, n,
+        out.subspan(static_cast<std::size_t>(done) * kBlockSize,
+                    static_cast<std::size_t>(n) * kBlockSize));
+    env_.advance_to(complete);
+    done += n;
+  }
+}
+
+std::optional<sim::Time> Initiator::prefetch(block::Lba lba,
+                                             std::uint32_t nblocks,
+                                             std::span<std::uint8_t> out) {
+  assert(static_cast<std::uint64_t>(nblocks) * kBlockSize <=
+         params_.max_burst_length);
+  return issue_read(lba, nblocks, out);
+}
+
+void Initiator::write(block::Lba lba, std::uint32_t nblocks,
+                      std::span<const std::uint8_t> data,
+                      block::WriteMode mode) {
+  std::uint32_t done = 0;
+  const std::uint32_t burst_blocks = params_.max_burst_length / kBlockSize;
+  sim::Time last = env_.now();
+  while (done < nblocks) {
+    const std::uint32_t n = std::min(nblocks - done, burst_blocks);
+    reserve_queue_slot();
+    const sim::Time complete = issue_write(
+        lba + done, n,
+        data.subspan(static_cast<std::size_t>(done) * kBlockSize,
+                     static_cast<std::size_t>(n) * kBlockSize));
+    outstanding_.push(complete);
+    last = std::max(last, complete);
+    done += n;
+  }
+  if (mode == block::WriteMode::kSync) env_.advance_to(last);
+}
+
+void Initiator::flush() {
+  while (!outstanding_.empty()) {
+    env_.advance_to(outstanding_.top());
+    outstanding_.pop();
+  }
+}
+
+void Initiator::reset_stats() {
+  exchanges_.reset();
+  write_commands_.reset();
+  write_bytes_.reset();
+}
+
+}  // namespace netstore::iscsi

@@ -1,0 +1,35 @@
+// iSCSI PDU definitions (RFC 3720 subset).
+//
+// netstore models PDU framing for byte accounting: every PDU carries the
+// 48-byte basic header segment (BHS) plus its data segment.  Only the PDU
+// types a normal-session block workload generates are modelled.
+#pragma once
+
+#include <cstdint>
+
+namespace netstore::iscsi {
+
+/// Basic Header Segment size (RFC 3720 §10.2).
+constexpr std::uint32_t kBhsSize = 48;
+
+enum class PduOp : std::uint8_t {
+  kNopOut = 0x00,
+  kScsiCommand = 0x01,
+  kLoginRequest = 0x03,
+  kScsiDataOut = 0x05,
+  kLogoutRequest = 0x06,
+  kNopIn = 0x20,
+  kScsiResponse = 0x21,
+  kLoginResponse = 0x23,
+  kScsiDataIn = 0x25,
+  kR2T = 0x31,
+  kLogoutResponse = 0x26,
+};
+
+/// Wire size of a PDU with `data_segment` payload bytes, including header
+/// padding to a 4-byte boundary as the RFC requires.
+constexpr std::uint32_t pdu_size(std::uint32_t data_segment) {
+  return kBhsSize + ((data_segment + 3u) & ~3u);
+}
+
+}  // namespace netstore::iscsi

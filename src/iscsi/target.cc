@@ -1,0 +1,47 @@
+#include "iscsi/target.h"
+
+namespace netstore::iscsi {
+
+sim::Time Target::serve(const scsi::Cdb& cdb, sim::Time start,
+                        std::span<std::uint8_t> out,
+                        std::span<const std::uint8_t> in,
+                        scsi::CommandResult& result) {
+  commands_.add(1);
+  result = scsi::CommandResult{};
+
+  const bool is_write = cdb.op == scsi::OpCode::kWrite10;
+  sim::Time t = start;
+  if (cost_hook_) t += cost_hook_(start, is_write, cdb.nblocks);
+
+  switch (cdb.op) {
+    case scsi::OpCode::kTestUnitReady:
+    case scsi::OpCode::kInquiry:
+    case scsi::OpCode::kReadCapacity10:
+    case scsi::OpCode::kReportLuns:
+      return t;
+
+    case scsi::OpCode::kRead10:
+      if (cdb.lba + cdb.nblocks > volume_blocks_) {
+        result.status = scsi::Status::kCheckCondition;
+        result.sense = scsi::SenseKey::kIllegalRequest;
+        return t;
+      }
+      return cache_.read(t, cdb.lba, cdb.nblocks, out);
+
+    case scsi::OpCode::kWrite10:
+      if (cdb.lba + cdb.nblocks > volume_blocks_) {
+        result.status = scsi::Status::kCheckCondition;
+        result.sense = scsi::SenseKey::kIllegalRequest;
+        return t;
+      }
+      return cache_.write(t, cdb.lba, cdb.nblocks, in);
+
+    case scsi::OpCode::kSynchronizeCache10:
+      return cache_.sync(t);
+  }
+  result.status = scsi::Status::kCheckCondition;
+  result.sense = scsi::SenseKey::kIllegalRequest;
+  return t;
+}
+
+}  // namespace netstore::iscsi

@@ -1,0 +1,60 @@
+// iSCSI target: executes SCSI commands against a cached RAID-5 volume.
+//
+// Stands in for the commercial target of the paper's testbed: a RAM
+// write-back cache in front of the array, so writes are acknowledged at
+// memory speed and reads hit the cache when warm.  All timing is explicit
+// (start time in, completion time out) because commands may be served in
+// the initiator's future (asynchronous writes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "block/timed_cache.h"
+#include "scsi/scsi.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace netstore::iscsi {
+
+/// Charged per command at the target; lets the testbed account server CPU.
+/// Returns the processing time to add to the service path.
+using TargetCostHook = std::function<sim::Duration(
+    sim::Time at, bool is_write, std::uint32_t nblocks)>;
+
+class Target {
+ public:
+  Target(block::TimedCache& cache, std::uint64_t volume_blocks)
+      : cache_(cache), volume_blocks_(volume_blocks) {}
+
+  /// Executes `cdb` beginning at `start`.  For reads, fills `out`; for
+  /// writes, consumes `in`.  Returns the completion time at the target.
+  sim::Time serve(const scsi::Cdb& cdb, sim::Time start,
+                  std::span<std::uint8_t> out,
+                  std::span<const std::uint8_t> in,
+                  scsi::CommandResult& result);
+
+  void set_cost_hook(TargetCostHook hook) { cost_hook_ = std::move(hook); }
+
+  [[nodiscard]] std::uint64_t volume_blocks() const { return volume_blocks_; }
+  [[nodiscard]] std::uint64_t commands_served() const {
+    return commands_.value();
+  }
+
+  /// Orderly restart (cold-cache emulation): flush and drop the cache.
+  void restart() { cache_.restart(); }
+
+  /// Power-loss crash: cached dirty data is gone.
+  void crash() { cache_.crash(); }
+
+  [[nodiscard]] block::TimedCache& cache() { return cache_; }
+
+ private:
+  block::TimedCache& cache_;
+  std::uint64_t volume_blocks_;
+  TargetCostHook cost_hook_;
+  sim::Counter commands_;
+};
+
+}  // namespace netstore::iscsi

@@ -1,0 +1,41 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace netstore::net {
+
+sim::Time Link::transmit(Direction d, std::uint64_t bytes,
+                         sim::Time earliest) {
+  TrafficStats& stats = (d == Direction::kClientToServer) ? c2s_ : s2c_;
+  sim::Time& busy_until =
+      (d == Direction::kClientToServer) ? c2s_busy_until_ : s2c_busy_until_;
+
+  stats.messages.add(1);
+  stats.bytes.add(bytes);
+
+  const auto wire_time = static_cast<sim::Duration>(
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec *
+      static_cast<double>(sim::kSecond));
+
+  const sim::Time start =
+      std::max(earliest, busy_until) + config_.per_message_overhead;
+  const sim::Time done_sending = start + wire_time;
+  busy_until = done_sending;
+  return done_sending + one_way_delay();
+}
+
+sim::Time Link::send(Direction d, std::uint64_t bytes) {
+  return transmit(d, bytes, env_.now());
+}
+
+sim::Time Link::send_at(Direction d, std::uint64_t bytes, sim::Time earliest) {
+  return transmit(d, bytes, std::max(earliest, env_.now()));
+}
+
+sim::Time Link::send_lossy(Direction d, std::uint64_t bytes, sim::Rng& rng) {
+  const sim::Time arrival = transmit(d, bytes, env_.now());
+  if (loss_probability_ > 0.0 && rng.chance(loss_probability_)) return -1;
+  return arrival;
+}
+
+}  // namespace netstore::net

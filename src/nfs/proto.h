@@ -1,0 +1,70 @@
+// NFS protocol definitions shared by client and server.
+//
+// Three protocol generations are modelled (paper §2.1):
+//   v2 — stateless, UDP, synchronous writes, 8 KB transfer limit;
+//   v3 — TCP, asynchronous writes + COMMIT, ACCESS procedure;
+//   v4 — stateful (OPEN/CLOSE), COMPOUND procedures, delegation.
+// Wire formats are modelled by size only (XDR-realistic byte counts);
+// message *counts* are the experimentally meaningful quantity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fs/types.h"
+
+namespace netstore::nfs {
+
+enum class Version { kV2 = 2, kV3 = 3, kV4 = 4 };
+
+/// File handle: inode number on the exported file system.  (v3 allows up
+/// to 64-byte opaque handles; the content is server-private either way.)
+using Fh = fs::Ino;
+
+/// Procedures (union of the versions; COMPOUND members flattened).
+enum class Proc : std::uint8_t {
+  kNull,
+  kGetattr,
+  kSetattr,
+  kLookup,
+  kAccess,  // v3+
+  kReadlink,
+  kRead,
+  kWrite,
+  kCreate,
+  kMkdir,
+  kSymlink,
+  kRemove,
+  kRmdir,
+  kRename,
+  kLink,
+  kReaddir,
+  kCommit,       // v3+
+  kOpen,         // v4
+  kOpenConfirm,  // v4
+  kClose,        // v4
+  kDelegReturn,  // v4
+  kBatchedUpdate,  // §7 extension: aggregated meta-data compound
+};
+
+[[nodiscard]] std::string to_string(Proc p);
+
+/// Typical XDR-encoded payload sizes (above the RPC header).
+struct WireSizes {
+  static constexpr std::uint32_t kFh = 32;
+  static constexpr std::uint32_t kAttrs = 96;
+  static constexpr std::uint32_t kSetAttrs = 56;
+  static constexpr std::uint32_t kDirentOverhead = 24;  // per readdir entry
+
+  static std::uint32_t name_arg(const std::string& name) {
+    return kFh + 8 + static_cast<std::uint32_t>((name.size() + 3) & ~3ull);
+  }
+};
+
+/// Per-version data transfer limits the paper discusses (§4.4): Linux used
+/// the v2 limit (8 KB) for v3 as well; the v4 client used larger transfers.
+constexpr std::uint32_t transfer_limit(Version v) {
+  return v == Version::kV4 ? 32 * 1024 : 8 * 1024;
+}
+
+}  // namespace netstore::nfs

@@ -1,0 +1,49 @@
+#include "rpc/rpc.h"
+
+#include <algorithm>
+
+namespace netstore::rpc {
+
+sim::Time RpcTransport::exchange(std::uint32_t request_payload,
+                                 std::uint32_t reply_payload,
+                                 const ServerWork& work) {
+  stats_.calls.add(1);
+  const sim::Time t0 = env_.now();
+  const sim::Time arrival = link_.send(net::Direction::kClientToServer,
+                                       config_.header_bytes + request_payload);
+  const sim::Time served = work(arrival);
+  sim::Time reply = link_.send_at(net::Direction::kServerToClient,
+                                  config_.header_bytes + reply_payload, served);
+
+  // Spurious client retransmissions: the timer fires while the reply is
+  // still in flight; each duplicate request costs a message and delays the
+  // effective completion (duplicate processing at the server).
+  if (config_.retrans_timeout > 0) {
+    // Exponential backoff caps the damage: at most two duplicates per
+    // call (minor timeouts double the timer in the Linux client).
+    const auto duplicates = std::min<std::uint64_t>(
+        2, static_cast<std::uint64_t>((reply - t0) / config_.retrans_timeout));
+    for (std::uint64_t i = 0; i < duplicates; ++i) {
+      link_.send_at(net::Direction::kClientToServer,
+                    config_.header_bytes + request_payload,
+                    t0 + static_cast<sim::Duration>(i + 1) *
+                             config_.retrans_timeout);
+      stats_.retransmissions.add(1);
+      reply += config_.retrans_penalty;
+    }
+  }
+  return reply;
+}
+
+void RpcTransport::call(std::uint32_t request_payload,
+                        std::uint32_t reply_payload, const ServerWork& work) {
+  env_.advance_to(exchange(request_payload, reply_payload, work));
+}
+
+sim::Time RpcTransport::call_async(std::uint32_t request_payload,
+                                   std::uint32_t reply_payload,
+                                   const ServerWork& work) {
+  return exchange(request_payload, reply_payload, work);
+}
+
+}  // namespace netstore::rpc

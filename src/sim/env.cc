@@ -1,0 +1,32 @@
+#include "sim/env.h"
+
+#include <utility>
+
+namespace netstore::sim {
+
+void Env::schedule_at(Time at, std::function<void()> fn) {
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Env::advance_to(Time t) {
+  if (t < now_) return;
+  while (!queue_.empty() && queue_.top().at <= t) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.at > now_) now_ = ev.at;
+    ev.fn();
+  }
+  now_ = t;
+}
+
+void Env::drain() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.at > now_) now_ = ev.at;
+    ev.fn();
+  }
+}
+
+}  // namespace netstore::sim

@@ -1,0 +1,76 @@
+// Simulation environment: virtual clock plus pending-event queue.
+//
+// netstore uses a hybrid simulation style: protocol operations execute
+// synchronously in caller context and account for elapsed virtual time by
+// advancing the shared clock, while background activity (journal commit
+// daemons, dirty-page flushers, lease expiry) registers timed events that
+// fire whenever the clock sweeps past their deadline.  This keeps protocol
+// state machines readable (straight-line code, no callback chains) while
+// still modelling asynchronous daemons faithfully.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace netstore::sim {
+
+/// The simulation environment.  One instance per testbed; every simulated
+/// component keeps a reference to it.  Not thread-safe: the simulation is
+/// strictly single-threaded and deterministic.
+class Env {
+ public:
+  Env() = default;
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` to run when the clock reaches `at`.  Events scheduled
+  /// for the same instant run in scheduling order.  Events scheduled in the
+  /// past run at the next advance.
+  void schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `after` from now.
+  void schedule_after(Duration after, std::function<void()> fn) {
+    schedule_at(now_ + after, std::move(fn));
+  }
+
+  /// Advances the clock to `t`, firing every event whose deadline is <= t
+  /// in deadline order.  Events may schedule further events; those also run
+  /// if due.  No-op if `t` is in the past.
+  void advance_to(Time t);
+
+  /// Advances the clock by `dt` (see advance_to).
+  void advance(Duration dt) { advance_to(now_ + dt); }
+
+  /// Fires all pending events in order, advancing the clock to each
+  /// deadline.  Used at experiment teardown to quiesce daemons.
+  void drain();
+
+  /// Number of events not yet fired.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;  // tie-break: FIFO among same-deadline events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace netstore::sim

@@ -1,0 +1,65 @@
+// Lightweight measurement primitives shared by every module.
+//
+// Counters accumulate event counts (messages, bytes, cache hits);
+// Samplers collect scalar observations for percentile reporting
+// (e.g. the paper's "95th percentile of vmstat CPU utilization").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netstore::sim {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  void reset() { value_ = 0; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Collects scalar samples; answers mean / min / max / percentile queries.
+class Sampler {
+ public:
+  void record(double v) { samples_.push_back(v); }
+  void reset() { samples_.clear(); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Nearest-rank percentile; p in [0, 100].  Returns 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Fixed-boundary histogram for message-size / latency distributions.
+class Histogram {
+ public:
+  /// `bounds` are the upper edges of each bucket, ascending; an overflow
+  /// bucket is added automatically.
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double v);
+  void reset();
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace netstore::sim

@@ -1,0 +1,48 @@
+// LocalVfs: syscalls against a local ext3 (the iSCSI client's stack).
+#pragma once
+
+#include "fs/ext3.h"
+#include "vfs/vfs.h"
+
+namespace netstore::vfs {
+
+class LocalVfs final : public Vfs {
+ public:
+  LocalVfs(sim::Env& env, fs::Ext3Fs& fs) : env_(env), fs_(fs) {}
+
+  fs::Status mkdir(const std::string& path, std::uint16_t perm) override;
+  fs::Status chdir(const std::string& path) override;
+  fs::Result<std::vector<fs::DirEntry>> readdir(
+      const std::string& path) override;
+  fs::Status symlink(const std::string& target,
+                     const std::string& linkpath) override;
+  fs::Result<std::string> readlink(const std::string& path) override;
+  fs::Status unlink(const std::string& path) override;
+  fs::Status rmdir(const std::string& path) override;
+  fs::Result<Fd> creat(const std::string& path, std::uint16_t perm) override;
+  fs::Result<Fd> open(const std::string& path) override;
+  fs::Status close(Fd fd) override;
+  fs::Status link(const std::string& existing,
+                  const std::string& linkpath) override;
+  fs::Status rename(const std::string& from, const std::string& to) override;
+  fs::Status truncate(const std::string& path, std::uint64_t size) override;
+  fs::Status chmod(const std::string& path, std::uint16_t perm) override;
+  fs::Status chown(const std::string& path, std::uint32_t uid,
+                   std::uint32_t gid) override;
+  fs::Status access(const std::string& path, int amode) override;
+  fs::Result<fs::Attr> stat(const std::string& path) override;
+  fs::Status utime(const std::string& path, sim::Time atime,
+                   sim::Time mtime) override;
+
+  fs::Result<std::uint32_t> read(Fd fd, std::uint64_t off,
+                                 std::span<std::uint8_t> out) override;
+  fs::Result<std::uint32_t> write(Fd fd, std::uint64_t off,
+                                  std::span<const std::uint8_t> in) override;
+  fs::Status fsync(Fd fd) override;
+
+ private:
+  sim::Env& env_;
+  fs::Ext3Fs& fs_;
+};
+
+}  // namespace netstore::vfs

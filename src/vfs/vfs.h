@@ -1,0 +1,83 @@
+// VFS: the system-call surface the benchmarks drive.
+//
+// Table 1's seventeen file/directory system calls plus the data path.
+// Two implementations mirror Figure 1: LocalVfs runs a local ext3 over a
+// (possibly iSCSI-remote) block device; NfsVfs forwards to the NFS client.
+// Each call charges the configured client CPU cost, so client utilization
+// (Table 10) falls out of the same instrumentation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fs/types.h"
+#include "sim/env.h"
+
+namespace netstore::vfs {
+
+/// File descriptor handle (opaque; maps to inode/file handle inside).
+using Fd = std::uint64_t;
+
+enum class Syscall {
+  kMeta,   // directory/attribute operations
+  kRead,
+  kWrite,
+  kOpen,
+  kClose,
+};
+
+/// Charged at syscall entry; lets the testbed account client CPU.
+using ClientCostHook =
+    std::function<sim::Duration(sim::Time at, Syscall kind, std::uint32_t bytes)>;
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  virtual fs::Status mkdir(const std::string& path, std::uint16_t perm) = 0;
+  virtual fs::Status chdir(const std::string& path) = 0;
+  virtual fs::Result<std::vector<fs::DirEntry>> readdir(
+      const std::string& path) = 0;
+  virtual fs::Status symlink(const std::string& target,
+                             const std::string& linkpath) = 0;
+  virtual fs::Result<std::string> readlink(const std::string& path) = 0;
+  virtual fs::Status unlink(const std::string& path) = 0;
+  virtual fs::Status rmdir(const std::string& path) = 0;
+  virtual fs::Result<Fd> creat(const std::string& path,
+                               std::uint16_t perm) = 0;
+  virtual fs::Result<Fd> open(const std::string& path) = 0;
+  virtual fs::Status close(Fd fd) = 0;
+  virtual fs::Status link(const std::string& existing,
+                          const std::string& linkpath) = 0;
+  virtual fs::Status rename(const std::string& from, const std::string& to) = 0;
+  virtual fs::Status truncate(const std::string& path, std::uint64_t size) = 0;
+  virtual fs::Status chmod(const std::string& path, std::uint16_t perm) = 0;
+  virtual fs::Status chown(const std::string& path, std::uint32_t uid,
+                           std::uint32_t gid) = 0;
+  virtual fs::Status access(const std::string& path, int amode) = 0;
+  virtual fs::Result<fs::Attr> stat(const std::string& path) = 0;
+  virtual fs::Status utime(const std::string& path, sim::Time atime,
+                           sim::Time mtime) = 0;
+
+  virtual fs::Result<std::uint32_t> read(Fd fd, std::uint64_t off,
+                                         std::span<std::uint8_t> out) = 0;
+  virtual fs::Result<std::uint32_t> write(
+      Fd fd, std::uint64_t off, std::span<const std::uint8_t> in) = 0;
+  virtual fs::Status fsync(Fd fd) = 0;
+
+  void set_cost_hook(ClientCostHook hook) { cost_hook_ = std::move(hook); }
+
+ protected:
+  /// Called at the top of every syscall by implementations.
+  void charge(sim::Env& env, Syscall kind, std::uint32_t bytes) {
+    if (cost_hook_) env.advance(cost_hook_(env.now(), kind, bytes));
+  }
+
+ private:
+  ClientCostHook cost_hook_;
+};
+
+}  // namespace netstore::vfs

@@ -1,0 +1,59 @@
+// Database macro-benchmarks: TPC-C-like OLTP and TPC-H-like DSS profiles
+// (paper §5.2).
+//
+// The paper characterizes these workloads by their I/O profile — TPC-C:
+// "small 4 KB random I/Os, two-thirds reads"; TPC-H: "dominated by large
+// read requests" with a 4 KB page / 32 KB extent configuration — and
+// reports *normalized* throughput, which is what these generators
+// reproduce.  The database engine is reduced to its storage access
+// pattern plus a fixed client-side CPU cost per transaction/query (the
+// paper's clients were CPU-saturated).
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.h"
+#include "sim/rng.h"
+
+namespace netstore::workloads {
+
+struct TpccConfig {
+  std::uint64_t database_mb = 1536;    // scaled-down warehouse data
+  std::uint32_t transactions = 4000;
+  std::uint32_t ios_per_txn = 12;      // 4 KB page accesses per transaction
+  double read_fraction = 2.0 / 3.0;    // paper: two-thirds reads
+  sim::Duration client_cpu_per_txn = sim::milliseconds(35);
+  std::uint32_t log_bytes_per_txn = 2048;
+  std::uint64_t seed = 11;
+};
+
+struct TpccResult {
+  double tpm = 0;  // transactions per (simulated) minute
+  std::uint64_t messages = 0;
+  double server_cpu_p95 = 0;
+  double client_cpu_p95 = 0;
+};
+
+TpccResult run_tpcc(core::Testbed& bed, const TpccConfig& cfg);
+
+struct TpchConfig {
+  std::uint64_t database_mb = 1024;  // scale factor 1 (paper: 1 GB)
+  std::uint32_t queries = 16;
+  std::uint32_t extent_kb = 32;      // paper's extent size
+  // Fraction of the database each query scans.
+  double scan_fraction = 0.35;
+  std::uint32_t random_probes_per_query = 300;
+  sim::Duration client_cpu_per_mb = sim::milliseconds(150);
+  std::uint64_t seed = 13;
+};
+
+struct TpchResult {
+  double qph = 0;  // queries per (simulated) hour
+  std::uint64_t messages = 0;
+  double server_cpu_p95 = 0;
+  double client_cpu_p95 = 0;
+};
+
+TpchResult run_tpch(core::Testbed& bed, const TpchConfig& cfg);
+
+}  // namespace netstore::workloads

@@ -1,0 +1,146 @@
+#include "workloads/kerneltree.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace netstore::workloads {
+
+namespace {
+
+struct TreePlan {
+  std::vector<std::string> dirs;   // creation order (parents first)
+  std::vector<std::pair<std::string, std::uint32_t>> files;  // path, size
+};
+
+TreePlan plan_tree(const KernelTreeConfig& cfg) {
+  sim::Rng rng(cfg.seed);
+  TreePlan plan;
+  plan.dirs.push_back("/linux");
+  // First-level subsystem dirs, then nested subdirs.
+  const std::uint32_t top = 16;
+  for (std::uint32_t i = 0; i < top; ++i) {
+    plan.dirs.push_back("/linux/sub" + std::to_string(i));
+  }
+  while (plan.dirs.size() < cfg.directories) {
+    // Attach a new directory under a random existing one (skew shallow).
+    const auto parent =
+        plan.dirs[1 + rng.uniform(std::min<std::uint64_t>(
+                          plan.dirs.size() - 1, 8 * top))];
+    plan.dirs.push_back(parent + "/d" + std::to_string(plan.dirs.size()));
+  }
+  for (std::uint32_t f = 0; f < cfg.files; ++f) {
+    const auto& dir = plan.dirs[rng.uniform(plan.dirs.size())];
+    const auto size = static_cast<std::uint32_t>(
+        rng.uniform_range(256, 2 * cfg.mean_file_bytes));
+    plan.files.emplace_back(dir + "/f" + std::to_string(f) + ".c", size);
+  }
+  return plan;
+}
+
+void walk_ls(core::Testbed& bed, const std::string& path) {
+  vfs::Vfs& v = bed.vfs();
+  auto entries = v.readdir(path);
+  if (!entries) return;
+  for (const fs::DirEntry& e : *entries) {
+    const std::string child = path + "/" + e.name;
+    (void)v.stat(child);  // ls -l stats every entry
+    if (e.type == fs::FileType::kDirectory) walk_ls(bed, child);
+  }
+}
+
+void walk_rm(core::Testbed& bed, const std::string& path) {
+  vfs::Vfs& v = bed.vfs();
+  auto entries = v.readdir(path);
+  if (!entries) return;
+  for (const fs::DirEntry& e : *entries) {
+    const std::string child = path + "/" + e.name;
+    if (e.type == fs::FileType::kDirectory) {
+      walk_rm(bed, child);
+      (void)v.rmdir(child);
+    } else {
+      (void)v.unlink(child);
+    }
+  }
+}
+
+}  // namespace
+
+KernelTreeResult run_kernel_tree(core::Testbed& bed,
+                                 const KernelTreeConfig& cfg) {
+  vfs::Vfs& v = bed.vfs();
+  const TreePlan plan = plan_tree(cfg);
+  KernelTreeResult res;
+  sim::Rng rng(cfg.seed + 1);
+
+  // --- tar -xzf: create everything, write file contents ---
+  bed.reset_counters();
+  sim::Time t0 = bed.env().now();
+  for (const std::string& d : plan.dirs) {
+    if (!v.mkdir(d, 0755).ok()) throw std::runtime_error("tar mkdir " + d);
+  }
+  for (const auto& [path, size] : plan.files) {
+    auto fd = v.creat(path, 0644);
+    if (!fd) throw std::runtime_error("tar creat " + path);
+    std::vector<std::uint8_t> data(size, 0x6B);
+    if (!v.write(*fd, 0, data)) throw std::runtime_error("tar write");
+    (void)v.close(*fd);
+  }
+  // tar exits once data is handed to the page cache; include the deferred
+  // flush traffic but not its latency, as the paper's timing did.
+  sim::Time t1 = bed.env().now();
+  bed.settle(sim::seconds(40));
+  res.tar_seconds = sim::to_seconds(t1 - t0);
+  res.tar_messages = bed.messages();
+
+  // --- ls -lR ---
+  bed.cold_caches();
+  bed.reset_counters();
+  t0 = bed.env().now();
+  walk_ls(bed, "/linux");
+  t1 = bed.env().now();
+  res.ls_seconds = sim::to_seconds(t1 - t0);
+  res.ls_messages = bed.messages();
+
+  // --- make (compile) ---
+  bed.cold_caches();
+  bed.reset_counters();
+  t0 = bed.env().now();
+  std::uint32_t obj = 0;
+  for (const auto& [path, size] : plan.files) {
+    auto fd = v.open(path);
+    if (!fd) throw std::runtime_error("make open " + path);
+    std::vector<std::uint8_t> buf(size);
+    (void)v.read(*fd, 0, buf);
+    (void)v.close(*fd);
+    bed.env().advance(cfg.compile_cpu_per_file);
+    bed.client_cpu().charge(bed.env().now(), cfg.compile_cpu_per_file);
+    if (rng.chance(0.45)) {
+      const std::string o = path + std::to_string(obj++) + ".o";
+      auto ofd = v.creat(o, 0644);
+      if (ofd) {
+        std::vector<std::uint8_t> odata(size / 2 + 64, 0x4F);
+        (void)v.write(*ofd, 0, odata);
+        (void)v.close(*ofd);
+      }
+    }
+  }
+  t1 = bed.env().now();
+  bed.settle(sim::seconds(40));
+  res.compile_seconds = sim::to_seconds(t1 - t0);
+  res.compile_messages = bed.messages();
+
+  // --- rm -rf ---
+  bed.cold_caches();
+  bed.reset_counters();
+  t0 = bed.env().now();
+  walk_rm(bed, "/linux");
+  (void)v.rmdir("/linux");
+  t1 = bed.env().now();
+  bed.settle(sim::seconds(12));
+  res.rm_seconds = sim::to_seconds(t1 - t0);
+  res.rm_messages = bed.messages();
+  return res;
+}
+
+}  // namespace netstore::workloads

@@ -1,0 +1,40 @@
+// Kernel-source-tree operations (paper §5.3, Table 8): extract a source
+// tree (tar -xzf), list it recursively (ls -lR), compile it (make), and
+// remove it (rm -rf).
+//
+// The tree is synthetic but shaped like Linux 2.4: ~13 k files in ~610
+// directories, ~8 KB mean file size, nested 2-4 levels.  Compilation is
+// modelled as reading every source file, paying a CPU cost per file, and
+// writing an object file for about half of them (headers produce none).
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.h"
+#include "sim/rng.h"
+
+namespace netstore::workloads {
+
+struct KernelTreeConfig {
+  std::uint32_t directories = 610;
+  std::uint32_t files = 13000;
+  std::uint32_t mean_file_bytes = 8192;
+  sim::Duration compile_cpu_per_file = sim::milliseconds(22);
+  std::uint64_t seed = 3;
+};
+
+struct KernelTreeResult {
+  double tar_seconds = 0;
+  double ls_seconds = 0;
+  double compile_seconds = 0;
+  double rm_seconds = 0;
+  std::uint64_t tar_messages = 0;
+  std::uint64_t ls_messages = 0;
+  std::uint64_t compile_messages = 0;
+  std::uint64_t rm_messages = 0;
+};
+
+KernelTreeResult run_kernel_tree(core::Testbed& bed,
+                                 const KernelTreeConfig& cfg);
+
+}  // namespace netstore::workloads

@@ -1,0 +1,35 @@
+// Sequential/random 128 MB read/write workload (paper §4.5, Table 4 and
+// Figure 6).  4 KB chunks; random order uses a seeded permutation of the
+// 32 K blocks, exactly as the paper describes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.h"
+#include "sim/rng.h"
+
+namespace netstore::workloads {
+
+struct LargeIoResult {
+  double seconds = 0;            // completion time (incl. final flush)
+  std::uint64_t messages = 0;    // protocol exchanges
+  std::uint64_t bytes = 0;       // bytes on the wire
+  std::uint64_t retransmissions = 0;
+  double mean_write_kb = 0;      // mean write request size (iSCSI only)
+};
+
+struct LargeIoConfig {
+  std::uint64_t file_mb = 128;
+  std::uint32_t chunk = 4096;
+  bool random = false;
+  std::uint64_t seed = 42;
+};
+
+/// Runs the read experiment: file is created and caches are dropped first.
+LargeIoResult run_large_read(core::Testbed& bed, const LargeIoConfig& cfg);
+
+/// Runs the write experiment: fresh file, written chunk by chunk, then
+/// flushed (fsync) — the flush is part of the completion time.
+LargeIoResult run_large_write(core::Testbed& bed, const LargeIoConfig& cfg);
+
+}  // namespace netstore::workloads

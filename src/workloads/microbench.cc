@@ -1,0 +1,242 @@
+#include "workloads/microbench.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace netstore::workloads {
+
+namespace {
+const std::vector<std::string> kOps = {
+    "mkdir", "chdir", "readdir", "symlink", "readlink", "unlink",
+    "rmdir", "creat", "open",    "link",    "rename",   "trunc",
+    "chmod", "chown", "access",  "stat",    "utime"};
+}  // namespace
+
+const std::vector<std::string>& Microbench::ops() { return kOps; }
+
+std::string Microbench::setup(int depth) {
+  round_++;
+  vfs::Vfs& v = bed_.vfs();
+  std::string prefix;
+  const std::string r = std::to_string(round_);
+  for (int i = 1; i <= depth; ++i) {
+    prefix += "/d" + std::to_string(i);
+    (void)v.mkdir(prefix, 0755);  // may already exist across rounds
+    // Age the file system between levels, as real use would: the chain
+    // directories' inodes end up in different inode-table blocks, so a
+    // cold path walk reads one inode block and one directory block per
+    // level (the paper's +2-messages-per-level iSCSI slope).
+    for (int f = 0; f < 40; ++f) {
+      (void)v.creat(prefix + "/age" + r + "_" + std::to_string(f), 0644);
+    }
+  }
+
+  // Same aging at the leaf level, so the per-op targets' inodes sit past
+  // the block holding the parent directory's inode.
+  for (int i = 0; i < 64; ++i) {
+    (void)v.creat(prefix + "/filler" + r + "_" + std::to_string(i), 0644);
+  }
+
+  // Pre-created operation targets (two of each for warm variants).
+  for (int k = 0; k < 2; ++k) {
+    const std::string s = r + "_" + std::to_string(k);
+    (void)v.mkdir(prefix + "/chdir_target", 0755);
+    (void)v.mkdir(prefix + "/lsdir", 0755);
+    (void)v.creat(prefix + "/lsdir/entry", 0644);
+    (void)v.symlink("/linktarget", prefix + "/sym" + s);
+    (void)v.creat(prefix + "/unlinkme" + s, 0644);  // empty file
+    (void)v.mkdir(prefix + "/rmme" + s, 0755);
+    (void)v.creat(prefix + "/openme", 0644);
+    (void)v.creat(prefix + "/linksrc", 0644);
+    (void)v.creat(prefix + "/renme" + s, 0644);
+    auto fd = v.creat(prefix + "/trunc" + s, 0644);
+    if (fd) {
+      std::vector<std::uint8_t> blk(4096, 0x5A);
+      (void)v.write(*fd, 0, blk);
+      (void)v.close(*fd);
+    }
+    (void)v.creat(prefix + "/attrfile", 0644);
+  }
+  return prefix;
+}
+
+void Microbench::run_op(const std::string& op, const std::string& prefix,
+                        int variant) {
+  vfs::Vfs& v = bed_.vfs();
+  const std::string r = std::to_string(round_);
+  const std::string s = r + "_" + std::to_string(variant);
+  const std::string vtag = std::to_string(variant);
+
+  auto must = [&](const fs::Status& st) {
+    if (!st.ok()) {
+      throw std::runtime_error("microbench op '" + op +
+                               "' failed: " + fs::to_string(st.error()));
+    }
+  };
+
+  if (op == "mkdir") {
+    must(v.mkdir(prefix + "/newdir" + s, 0755));
+  } else if (op == "chdir") {
+    // Warm chdir revisits the same directory (a new one cannot be the
+    // target of a chdir that should succeed).
+    must(v.chdir(prefix + "/chdir_target"));
+  } else if (op == "readdir") {
+    auto r2 = v.readdir(prefix + "/lsdir");
+    if (!r2) throw std::runtime_error("readdir failed");
+  } else if (op == "symlink") {
+    must(v.symlink("/linktarget", prefix + "/newsym" + s));
+  } else if (op == "readlink") {
+    auto r2 = v.readlink(prefix + "/sym" + r + "_0");
+    if (!r2) throw std::runtime_error("readlink failed");
+  } else if (op == "unlink") {
+    must(v.unlink(prefix + "/unlinkme" + s));
+  } else if (op == "rmdir") {
+    must(v.rmdir(prefix + "/rmme" + s));
+  } else if (op == "creat") {
+    auto fd = v.creat(prefix + "/newfile" + s, 0644);
+    if (!fd) throw std::runtime_error("creat failed");
+    must(v.close(*fd));
+  } else if (op == "open") {
+    auto fd = v.open(prefix + "/openme");
+    if (!fd) throw std::runtime_error("open failed");
+    must(v.close(*fd));
+  } else if (op == "link") {
+    must(v.link(prefix + "/linksrc", prefix + "/newlink" + s));
+  } else if (op == "rename") {
+    must(v.rename(prefix + "/renme" + s, prefix + "/renamed" + s));
+  } else if (op == "trunc") {
+    must(v.truncate(prefix + "/trunc" + s, 0));
+  } else if (op == "chmod") {
+    must(v.chmod(prefix + "/attrfile", variant == 0 ? 0600 : 0640));
+  } else if (op == "chown") {
+    must(v.chown(prefix + "/attrfile", 100 + variant, 100));
+  } else if (op == "access") {
+    must(v.access(prefix + "/attrfile", fs::kAccessRead));
+  } else if (op == "stat") {
+    auto st = v.stat(prefix + "/attrfile");
+    if (!st) throw std::runtime_error("stat failed");
+  } else if (op == "utime") {
+    must(v.utime(prefix + "/attrfile", sim::seconds(variant + 1),
+                 sim::seconds(variant + 2)));
+  } else {
+    throw std::invalid_argument("unknown op " + op);
+  }
+}
+
+void Microbench::quiesce_and_chill() {
+  bed_.settle(sim::seconds(12));  // journal commits, page flushes
+  bed_.cold_caches();
+}
+
+std::uint64_t Microbench::cold_op(const std::string& op, int depth) {
+  const std::string prefix = setup(depth);
+  quiesce_and_chill();
+  bed_.reset_counters();
+  run_op(op, prefix, 0);
+  bed_.settle(sim::seconds(12));  // count the deferred journal commit
+  return bed_.messages();
+}
+
+std::uint64_t Microbench::warm_op(const std::string& op, int depth,
+                                  sim::Duration spacing) {
+  const std::string prefix = setup(depth);
+  quiesce_and_chill();
+  run_op(op, prefix, 0);  // warm the caches
+  if (!bed_.is_nfs()) {
+    // Let the first invocation's journal commit drain out of the window.
+    bed_.settle(sim::seconds(12));
+  } else {
+    bed_.settle(spacing);
+  }
+  bed_.reset_counters();
+  run_op(op, prefix, 1);
+  bed_.settle(sim::seconds(12));
+  return bed_.messages();
+}
+
+double Microbench::batch_op(const std::string& op, std::uint32_t n) {
+  vfs::Vfs& v = bed_.vfs();
+  round_++;
+  const std::string r = std::to_string(round_);
+  // Shared objects for the non-creating ops.
+  (void)v.creat("/batchfile" + r, 0644);
+  (void)v.creat("/batchsrc" + r, 0644);
+  (void)v.creat("/ren" + r + "_0", 0644);
+  auto wfd0 = v.creat("/bw" + r, 0644);
+  quiesce_and_chill();
+
+  bed_.reset_counters();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string tag = r + "_" + std::to_string(i);
+    if (op == "create") {
+      auto fd = v.creat("/bc" + tag, 0644);
+      if (fd) (void)v.close(*fd);
+    } else if (op == "link") {
+      (void)v.link("/batchsrc" + r, "/bl" + tag);
+    } else if (op == "rename") {
+      (void)v.rename("/ren" + r + "_" + std::to_string(i),
+                     "/ren" + r + "_" + std::to_string(i + 1));
+    } else if (op == "chmod") {
+      (void)v.chmod("/batchfile" + r, 0600 + (i % 64));
+    } else if (op == "stat") {
+      (void)v.stat("/batchfile" + r);
+    } else if (op == "access") {
+      (void)v.access("/batchfile" + r, fs::kAccessRead);
+    } else if (op == "mkdir") {
+      (void)v.mkdir("/bd" + tag, 0755);
+    } else if (op == "write") {
+      std::vector<std::uint8_t> blk(4096, static_cast<std::uint8_t>(i));
+      auto fd = v.open("/bw" + r);
+      if (fd) {
+        (void)v.write(*fd, static_cast<std::uint64_t>(i) * 4096, blk);
+        (void)v.close(*fd);
+      }
+    } else {
+      throw std::invalid_argument("unknown batch op " + op);
+    }
+  }
+  bed_.settle(sim::seconds(12));
+  (void)wfd0;
+  return static_cast<double>(bed_.messages()) / n;
+}
+
+std::uint64_t Microbench::io_op(bool is_write, std::uint32_t bytes,
+                                bool warm) {
+  vfs::Vfs& v = bed_.vfs();
+  round_++;
+  const std::string path = "/io" + std::to_string(round_);
+  auto fd = v.creat(path, 0644);
+  if (!fd) throw std::runtime_error("creat failed");
+  std::vector<std::uint8_t> content(64 * 1024, 0x3C);
+  if (!is_write) {
+    (void)v.write(*fd, 0, content);
+  }
+  (void)v.close(*fd);
+  quiesce_and_chill();
+
+  if (warm) {
+    // Pull the file into the client cache first.
+    auto wfd = v.open(path);
+    if (!wfd) throw std::runtime_error("open failed");
+    std::vector<std::uint8_t> sink(64 * 1024);
+    (void)v.read(*wfd, 0, sink);
+    (void)v.close(*wfd);
+    bed_.settle(sim::seconds(12));
+  }
+
+  bed_.reset_counters();
+  auto iofd = v.open(path);
+  if (!iofd) throw std::runtime_error("open failed");
+  if (is_write) {
+    std::vector<std::uint8_t> data(bytes, 0x7E);
+    (void)v.write(*iofd, 0, data);
+  } else {
+    std::vector<std::uint8_t> sink(bytes);
+    (void)v.read(*iofd, 0, sink);
+  }
+  (void)v.close(*iofd);
+  bed_.settle(sim::seconds(12));
+  return bed_.messages();
+}
+
+}  // namespace netstore::workloads

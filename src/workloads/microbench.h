@@ -1,0 +1,55 @@
+// Micro-benchmark harness: per-system-call network message counting.
+//
+// Reproduces the methodology of paper §4: cold cache = unmount/remount the
+// client file system and restart the server before each invocation; warm
+// cache = invoke once, then measure a second, similar invocation.  For
+// iSCSI the measurement window includes the deferred journal commit
+// (settle), since the paper's packet traces captured those writes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+
+namespace netstore::workloads {
+
+class Microbench {
+ public:
+  explicit Microbench(core::Testbed& bed) : bed_(bed) {}
+
+  /// The sixteen+1 operations of Table 1 (creat and open listed apart).
+  static const std::vector<std::string>& ops();
+
+  /// Network messages for one cold-cache invocation at directory depth d.
+  std::uint64_t cold_op(const std::string& op, int depth);
+
+  /// Messages for the warm (second, similar) invocation.  `spacing` is
+  /// the delay between the warming call and the measured call — beyond
+  /// the 3 s attribute window NFS revalidates cached path components.
+  std::uint64_t warm_op(const std::string& op, int depth,
+                        sim::Duration spacing = sim::seconds(1));
+
+  /// Figure 3: amortized messages/op for a batch of `n` consecutive ops
+  /// starting cold.
+  double batch_op(const std::string& op, std::uint32_t n);
+
+  /// Figure 5: messages for one read/write of `bytes` at offset 0 of a
+  /// 64 KB file (open/close included), cold or warm cache.
+  std::uint64_t io_op(bool is_write, std::uint32_t bytes, bool warm);
+
+ private:
+  /// Creates /d1/../d<depth> plus every per-op target object.
+  /// Returns the directory prefix.
+  std::string setup(int depth);
+  /// Runs one instance of `op`; `variant` distinguishes the warm
+  /// invocation's "similar but not identical" parameters.
+  void run_op(const std::string& op, const std::string& prefix, int variant);
+  void quiesce_and_chill();
+
+  core::Testbed& bed_;
+  int round_ = 0;  // uniquifies object names across invocations
+};
+
+}  // namespace netstore::workloads

@@ -1,0 +1,137 @@
+#include "workloads/postmark.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace netstore::workloads {
+
+namespace {
+
+struct PoolFile {
+  std::string name;
+  std::uint64_t size;
+};
+
+class Postmark {
+ public:
+  Postmark(core::Testbed& bed, const PostmarkConfig& cfg)
+      : bed_(bed), cfg_(cfg), rng_(cfg.seed) {}
+
+  PostmarkResult run() {
+    vfs::Vfs& v = bed_.vfs();
+    if (!v.mkdir("/pm", 0755).ok()) throw std::runtime_error("mkdir /pm");
+
+    // Initial pool.
+    pool_.reserve(cfg_.file_pool);
+    for (std::uint32_t i = 0; i < cfg_.file_pool; ++i) {
+      create_file();
+    }
+    bed_.settle(sim::seconds(6));
+    bed_.reset_counters();
+
+    PostmarkResult res;
+    const sim::Time t0 = bed_.env().now();
+    for (std::uint32_t t = 0; t < cfg_.transactions; ++t) {
+      if (rng_.chance(0.5)) {
+        if (rng_.chance(0.5)) {
+          create_file();
+          res.creates++;
+        } else {
+          delete_file();
+          res.deletes++;
+        }
+      } else {
+        if (rng_.chance(0.5)) {
+          read_file();
+          res.reads++;
+        } else {
+          append_file();
+          res.appends++;
+        }
+      }
+    }
+    const sim::Time t1 = bed_.env().now();
+
+    res.seconds = sim::to_seconds(t1 - t0);
+    res.messages = bed_.messages();
+    res.server_cpu_p95 = bed_.server_cpu().utilization_percentile(95, t1);
+    res.client_cpu_p95 = bed_.client_cpu().utilization_percentile(95, t1);
+    return res;
+  }
+
+ private:
+  std::uint32_t rand_size() {
+    return static_cast<std::uint32_t>(
+        rng_.uniform_range(cfg_.min_size, cfg_.max_size));
+  }
+
+  void create_file() {
+    vfs::Vfs& v = bed_.vfs();
+    const std::string name = "/pm/f" + std::to_string(next_id_++);
+    auto fd = v.creat(name, 0644);
+    if (!fd) throw std::runtime_error("postmark creat failed: " + fs::to_string(fd.error()) + " " + name);
+    const std::uint32_t size = rand_size();
+    std::vector<std::uint8_t> data(size);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      data[i] = static_cast<std::uint8_t>(rng_.next());
+    }
+    if (!v.write(*fd, 0, data)) throw std::runtime_error("postmark write");
+    (void)v.close(*fd);
+    pool_.push_back(PoolFile{name, size});
+  }
+
+  void delete_file() {
+    if (pool_.empty()) return;
+    vfs::Vfs& v = bed_.vfs();
+    const std::size_t idx = rng_.uniform(pool_.size());
+    if (!v.unlink(pool_[idx].name).ok()) {
+      throw std::runtime_error("postmark unlink");
+    }
+    pool_[idx] = pool_.back();
+    pool_.pop_back();
+  }
+
+  void read_file() {
+    if (pool_.empty()) return;
+    vfs::Vfs& v = bed_.vfs();
+    const PoolFile& f = pool_[rng_.uniform(pool_.size())];
+    auto fd = v.open(f.name);
+    if (!fd) throw std::runtime_error("postmark open");
+    std::vector<std::uint8_t> sink(cfg_.read_chunk);
+    std::uint64_t off = 0;
+    while (off < f.size) {
+      auto got = v.read(*fd, off, sink);
+      if (!got || *got == 0) break;
+      off += *got;
+    }
+    (void)v.close(*fd);
+  }
+
+  void append_file() {
+    if (pool_.empty()) return;
+    vfs::Vfs& v = bed_.vfs();
+    PoolFile& f = pool_[rng_.uniform(pool_.size())];
+    auto fd = v.open(f.name);
+    if (!fd) throw std::runtime_error("postmark open-append");
+    const std::uint32_t amount = rand_size() / 2 + 1;
+    std::vector<std::uint8_t> data(amount,
+                                   static_cast<std::uint8_t>(rng_.next()));
+    if (!v.write(*fd, f.size, data)) throw std::runtime_error("append");
+    (void)v.close(*fd);
+    f.size += amount;
+  }
+
+  core::Testbed& bed_;
+  PostmarkConfig cfg_;
+  sim::Rng rng_;
+  std::vector<PoolFile> pool_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace
+
+PostmarkResult run_postmark(core::Testbed& bed, const PostmarkConfig& cfg) {
+  return Postmark(bed, cfg).run();
+}
+
+}  // namespace netstore::workloads

@@ -1,0 +1,41 @@
+// PostMark reimplementation (Katcher, NetApp TR-3022) — the meta-data
+// intensive macro-benchmark of paper §5.1.
+//
+// Creates an initial pool of small random-size files, then runs
+// transactions with equal incidence of {create-or-delete} and
+// {read-or-append}, each subtype equally likely, with uniform random file
+// selection (the paper notes this randomness is what defeats caching as
+// the pool grows).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/testbed.h"
+#include "sim/rng.h"
+
+namespace netstore::workloads {
+
+struct PostmarkConfig {
+  std::uint32_t file_pool = 1000;
+  std::uint32_t transactions = 100000;
+  std::uint32_t min_size = 512;
+  std::uint32_t max_size = 16 * 1024;
+  std::uint32_t read_chunk = 4096;
+  std::uint64_t seed = 7;
+};
+
+struct PostmarkResult {
+  double seconds = 0;          // transaction phase completion time
+  std::uint64_t messages = 0;  // protocol exchanges during transactions
+  std::uint64_t creates = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t appends = 0;
+  double server_cpu_p95 = 0;   // 95th pct server CPU during the run
+  double client_cpu_p95 = 0;
+};
+
+PostmarkResult run_postmark(core::Testbed& bed, const PostmarkConfig& cfg);
+
+}  // namespace netstore::workloads

@@ -1,0 +1,214 @@
+#include "workloads/traces.h"
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace netstore::workloads {
+
+TraceProfile TraceProfile::eecs() {
+  TraceProfile p;
+  p.name = "EECS (research/development)";
+  p.clients = 50;
+  p.directories = 4000;  // ~40k objects at ~10 per directory
+  p.private_dirs_per_client = 40;
+  p.shared_fraction = 0.10;
+  p.p_shared_access = 0.35;  // shared source trees, tools
+  p.p_write_private = 0.30;
+  p.p_write_shared = 0.01;  // rare shared writes
+  return p;
+}
+
+TraceProfile TraceProfile::campus() {
+  TraceProfile p;
+  p.name = "Campus (mail/web)";
+  p.clients = 100;
+  p.directories = 10000;  // ~100k objects
+  p.private_dirs_per_client = 60;
+  p.shared_fraction = 0.02;  // a few spool/web directories
+  p.p_shared_access = 0.18;
+  p.p_write_private = 0.35;
+  p.p_write_shared = 0.45;  // mail delivery writes into shared spools
+  return p;
+}
+
+std::vector<TraceEvent> generate_trace(const TraceProfile& profile,
+                                       std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const auto shared_dirs = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(profile.shared_fraction *
+                                    profile.directories));
+  const std::uint32_t private_pool = profile.directories - shared_dirs;
+  sim::ZipfSampler shared_pick(shared_dirs, profile.zipf_theta);
+  sim::ZipfSampler private_pick(profile.private_dirs_per_client,
+                                profile.zipf_theta);
+
+  std::vector<TraceEvent> events;
+  for (std::uint32_t c = 0; c < profile.clients; ++c) {
+    // This client's private directory range (disjoint per client).
+    const std::uint32_t base =
+        shared_dirs +
+        (c * profile.private_dirs_per_client) %
+            std::max<std::uint32_t>(1,
+                                    private_pool -
+                                        profile.private_dirs_per_client);
+    double t = rng.exponential(1.0 / profile.events_per_client_per_s);
+    while (t < profile.duration_s) {
+      TraceEvent e;
+      e.time_s = t;
+      e.client = c;
+      if (rng.chance(profile.p_shared_access)) {
+        e.is_write = rng.chance(profile.p_write_shared);
+        // Popular shared directories are read-hot; writes land on
+        // less-popular ones (mail deliveries, scratch areas) — which is
+        // what keeps invalidation callbacks rare in the real traces.
+        e.dir = e.is_write
+                    ? static_cast<std::uint32_t>(rng.uniform(shared_dirs))
+                    : static_cast<std::uint32_t>(shared_pick.sample(rng));
+      } else {
+        e.dir = base + static_cast<std::uint32_t>(private_pick.sample(rng));
+        e.is_write = rng.chance(profile.p_write_private);
+      }
+      events.push_back(e);
+      t += rng.exponential(1.0 / profile.events_per_client_per_s);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.time_s < b.time_s;
+            });
+  return events;
+}
+
+std::vector<SharingPoint> analyze_sharing(
+    const std::vector<TraceEvent>& events,
+    const std::vector<double>& intervals) {
+  std::vector<SharingPoint> out;
+  for (double T : intervals) {
+    // Per interval-bucket, per directory: the sets of readers and writers.
+    struct DirUse {
+      std::set<std::uint32_t> readers;
+      std::set<std::uint32_t> writers;
+    };
+    std::map<std::pair<std::uint64_t, std::uint32_t>, DirUse> use;
+    for (const TraceEvent& e : events) {
+      const auto bucket = static_cast<std::uint64_t>(e.time_s / T);
+      DirUse& du = use[{bucket, e.dir}];
+      if (e.is_write) {
+        du.writers.insert(e.client);
+      } else {
+        du.readers.insert(e.client);
+      }
+    }
+    // Average the per-bucket normalized class counts.
+    std::map<std::uint64_t, std::array<double, 5>> per_bucket;  // classes+total
+    for (const auto& [key, du] : use) {
+      auto& b = per_bucket[key.first];
+      b[4] += 1;  // total dirs accessed this bucket
+      if (!du.readers.empty() && du.writers.empty()) {
+        (du.readers.size() == 1 ? b[0] : b[2]) += 1;
+      } else if (!du.writers.empty()) {
+        const std::size_t involved = [&] {
+          std::set<std::uint32_t> all = du.readers;
+          all.insert(du.writers.begin(), du.writers.end());
+          return all.size();
+        }();
+        (involved == 1 ? b[1] : b[3]) += 1;
+      }
+    }
+    SharingPoint p{T, 0, 0, 0, 0};
+    for (const auto& [bucket, b] : per_bucket) {
+      if (b[4] == 0) continue;
+      p.read_one += b[0] / b[4];
+      p.written_one += b[1] / b[4];
+      p.read_multi += b[2] / b[4];
+      p.written_multi += b[3] / b[4];
+    }
+    const auto nbuckets = static_cast<double>(per_bucket.size());
+    if (nbuckets > 0) {
+      p.read_one /= nbuckets;
+      p.written_one /= nbuckets;
+      p.read_multi /= nbuckets;
+      p.written_multi /= nbuckets;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+ConsistentCacheResult simulate_consistent_cache(
+    const std::vector<TraceEvent>& events, std::uint32_t clients,
+    std::uint32_t cache_dirs) {
+  ConsistentCacheResult res{};
+  res.cache_dirs = cache_dirs;
+
+  // Per-client LRU cache of directory meta-data.
+  struct ClientCache {
+    std::list<std::uint32_t> lru;  // front = hottest
+    std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> map;
+  };
+  std::vector<ClientCache> caches(clients);
+  // Which clients currently cache each directory (server's callback
+  // tracking state, as in AFS/Sprite-style consistency).
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>
+      holders;
+
+  auto insert = [&](std::uint32_t c, std::uint32_t dir) {
+    ClientCache& cc = caches[c];
+    if (auto it = cc.map.find(dir); it != cc.map.end()) {
+      cc.lru.splice(cc.lru.begin(), cc.lru, it->second);
+      return;
+    }
+    if (cc.lru.size() >= cache_dirs) {
+      holders[cc.lru.back()].erase(c);
+      cc.map.erase(cc.lru.back());
+      cc.lru.pop_back();
+    }
+    cc.lru.push_front(dir);
+    cc.map[dir] = cc.lru.begin();
+    holders[dir].insert(c);
+  };
+  auto evict = [&](std::uint32_t c, std::uint32_t dir) {
+    ClientCache& cc = caches[c];
+    if (auto it = cc.map.find(dir); it != cc.map.end()) {
+      cc.lru.erase(it->second);
+      cc.map.erase(it);
+    }
+    holders[dir].erase(c);
+  };
+
+  for (const TraceEvent& e : events) {
+    res.baseline_messages++;  // without the cache every op hits the server
+    if (e.is_write) {
+      // Updates always go to the server, which calls back every other
+      // holder to invalidate.
+      res.cached_messages++;
+      auto it = holders.find(e.dir);
+      if (it != holders.end()) {
+        std::vector<std::uint32_t> victims(it->second.begin(),
+                                           it->second.end());
+        for (std::uint32_t victim : victims) {
+          if (victim == e.client) continue;
+          res.invalidation_callbacks++;
+          evict(victim, e.dir);
+        }
+      }
+      insert(e.client, e.dir);  // writer retains a fresh copy
+    } else {
+      ClientCache& cc = caches[e.client];
+      if (cc.map.contains(e.dir)) {
+        // Served locally — the strongly-consistent cache needs no
+        // revalidation message (the §7 win).
+      } else {
+        res.cached_messages++;
+        insert(e.client, e.dir);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace netstore::workloads

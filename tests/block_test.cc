@@ -1,0 +1,242 @@
+// Unit tests for the block layer: disk timing, RAID-5 data/parity
+// correctness (including degraded mode and rebuild), caches.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "block/cached_device.h"
+#include "block/disk.h"
+#include "block/local_device.h"
+#include "block/mem_device.h"
+#include "block/raid5.h"
+#include "block/timed_cache.h"
+#include "sim/rng.h"
+
+namespace netstore::block {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(seed + i * 13);
+  }
+  return v;
+}
+
+TEST(DiskTest, SequentialStreamsWithoutPositioning) {
+  DiskConfig cfg;
+  Disk disk(cfg);
+  const sim::Time t1 = disk.submit(0, 0, 1, false);
+  const sim::Time t2 = disk.submit(t1, 1, 1, false);
+  // Second access continues the first: transfer time only.
+  const auto transfer = t2 - t1;
+  EXPECT_LT(transfer, sim::microseconds(200));
+}
+
+TEST(DiskTest, RandomAccessPaysPositioning) {
+  DiskConfig cfg;
+  Disk disk(cfg);
+  const sim::Time t1 = disk.submit(0, 0, 1, false);
+  const sim::Time t2 = disk.submit(t1, cfg.block_count / 2, 1, false);
+  EXPECT_GT(t2 - t1, cfg.mean_rotational_latency);
+}
+
+TEST(DiskTest, ReadsDontQueueBehindWrites) {
+  DiskConfig cfg;
+  Disk disk(cfg);
+  // Deep write backlog.
+  sim::Time w = 0;
+  for (int i = 0; i < 100; ++i) w = disk.submit(w, 1000 + i * 97, 1, true);
+  ASSERT_GT(w, sim::milliseconds(10));
+  const sim::Time r = disk.submit(0, 5, 1, false);
+  EXPECT_LT(r, sim::milliseconds(10));
+}
+
+TEST(DiskTest, DataRoundTrips) {
+  Disk disk(DiskConfig{});
+  BlockBuf in;
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    in[i] = static_cast<std::uint8_t>(i);
+  }
+  disk.write_data(42, in);
+  BlockBuf out{};
+  disk.read_data(42, out);
+  EXPECT_EQ(in, out);
+  disk.read_data(43, out);  // never written: zeros
+  EXPECT_EQ(out[0], 0);
+}
+
+class Raid5Test : public ::testing::Test {
+ protected:
+  Raid5Test() {
+    cfg_.disk.block_count = 4096;
+    raid_ = std::make_unique<Raid5Array>(cfg_);
+  }
+  Raid5Config cfg_;
+  std::unique_ptr<Raid5Array> raid_;
+};
+
+TEST_F(Raid5Test, CapacityIsDataDisks) {
+  EXPECT_EQ(raid_->block_count(), 4096u * 4);
+}
+
+TEST_F(Raid5Test, WriteReadRoundTrip) {
+  const auto data = pattern(kBlockSize * 3, 7);
+  raid_->write(0, 100, 3, data);
+  std::vector<std::uint8_t> out(kBlockSize * 3);
+  raid_->read(0, 100, 3, out);
+  EXPECT_EQ(data, out);
+}
+
+TEST_F(Raid5Test, FullStripeWriteRoundTrip) {
+  const std::uint32_t stripe = cfg_.stripe_unit_blocks * (cfg_.num_disks - 1);
+  const auto data = pattern(kBlockSize * stripe, 9);
+  raid_->write(0, 0, stripe, data);
+  std::vector<std::uint8_t> out(data.size());
+  raid_->read(0, 0, stripe, out);
+  EXPECT_EQ(data, out);
+}
+
+TEST_F(Raid5Test, DegradedReadReconstructsFromParity) {
+  const auto data = pattern(kBlockSize * 64, 3);
+  raid_->write(0, 0, 64, data);
+  raid_->fail_disk(1);
+  ASSERT_TRUE(raid_->degraded());
+  std::vector<std::uint8_t> out(data.size());
+  raid_->read(0, 0, 64, out);
+  EXPECT_EQ(data, out);
+}
+
+TEST_F(Raid5Test, DegradedWriteThenRebuild) {
+  const auto before = pattern(kBlockSize * 64, 3);
+  raid_->write(0, 0, 64, before);
+  raid_->fail_disk(2);
+  const auto after = pattern(kBlockSize * 64, 99);
+  raid_->write(0, 0, 64, after);
+  std::vector<std::uint8_t> out(after.size());
+  raid_->read(0, 0, 64, out);
+  EXPECT_EQ(after, out);
+
+  raid_->rebuild_disk(2, 128);
+  ASSERT_FALSE(raid_->degraded());
+  std::fill(out.begin(), out.end(), 0);
+  raid_->read(0, 0, 64, out);
+  EXPECT_EQ(after, out);
+}
+
+TEST_F(Raid5Test, RandomizedParityInvariant) {
+  // Property: after arbitrary writes, failing any single disk must not
+  // lose data.
+  sim::Rng rng(5);
+  std::vector<std::uint8_t> image(kBlockSize * 256, 0);
+  for (int op = 0; op < 200; ++op) {
+    const auto lba = rng.uniform(250);
+    const auto n = static_cast<std::uint32_t>(1 + rng.uniform(6));
+    auto data = pattern(kBlockSize * n, static_cast<std::uint8_t>(rng.next()));
+    raid_->write(0, lba, n, data);
+    std::copy(data.begin(), data.end(),
+              image.begin() + static_cast<std::size_t>(lba) * kBlockSize);
+  }
+  const auto victim = static_cast<std::uint32_t>(rng.uniform(5));
+  raid_->fail_disk(victim);
+  std::vector<std::uint8_t> out(image.size());
+  raid_->read(0, 0, 256, out);
+  EXPECT_EQ(image, out);
+}
+
+TEST(TimedCacheTest, WritesAckAtMemorySpeed) {
+  Raid5Config cfg;
+  cfg.disk.block_count = 4096;
+  Raid5Array raid(cfg);
+  TimedCache cache(raid, 1024, 512);
+  const auto data = pattern(kBlockSize, 1);
+  const sim::Time done = cache.write(sim::milliseconds(1), 10, 1, data);
+  EXPECT_EQ(done, sim::milliseconds(1));  // acknowledged from cache
+  EXPECT_EQ(cache.dirty_blocks(), 1u);
+}
+
+TEST(TimedCacheTest, ReadHitsAfterWrite) {
+  Raid5Config cfg;
+  cfg.disk.block_count = 4096;
+  Raid5Array raid(cfg);
+  TimedCache cache(raid, 1024, 512);
+  const auto data = pattern(kBlockSize, 2);
+  cache.write(0, 5, 1, data);
+  std::vector<std::uint8_t> out(kBlockSize);
+  const sim::Time done = cache.read(sim::seconds(1), 5, 1, out);
+  EXPECT_EQ(done, sim::seconds(1));  // hit: no disk time
+  EXPECT_EQ(std::vector<std::uint8_t>(data.begin(), data.end()), out);
+}
+
+TEST(TimedCacheTest, SyncMakesDurableAndCrashLosesDirty) {
+  Raid5Config cfg;
+  cfg.disk.block_count = 4096;
+  Raid5Array raid(cfg);
+  TimedCache cache(raid, 1024, 512);
+  const auto a = pattern(kBlockSize, 3);
+  const auto b = pattern(kBlockSize, 4);
+  cache.write(0, 7, 1, a);
+  cache.sync(0);
+  cache.write(0, 8, 1, b);
+  cache.crash();  // block 8 lost, block 7 durable
+  std::vector<std::uint8_t> out(kBlockSize);
+  cache.read(0, 7, 1, out);
+  EXPECT_EQ(std::vector<std::uint8_t>(a.begin(), a.end()), out);
+  cache.read(0, 8, 1, out);
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(CachedBlockDeviceTest, ReadThroughAndHit) {
+  MemBlockDevice inner(1024);
+  const auto data = pattern(kBlockSize, 5);
+  inner.write(9, 1, data, WriteMode::kAsync);
+  CachedBlockDevice cache(inner, 128, 64);
+  std::vector<std::uint8_t> out(kBlockSize);
+  cache.read(9, 1, out);
+  EXPECT_EQ(cache.stats().misses.value(), 1u);
+  cache.read(9, 1, out);
+  EXPECT_EQ(cache.stats().hits.value(), 1u);
+  EXPECT_EQ(std::vector<std::uint8_t>(data.begin(), data.end()), out);
+}
+
+TEST(CachedBlockDeviceTest, WriteBackOnFlush) {
+  MemBlockDevice inner(1024);
+  CachedBlockDevice cache(inner, 128, 64);
+  const auto data = pattern(kBlockSize, 6);
+  cache.write(3, 1, data, WriteMode::kAsync);
+  EXPECT_EQ(inner.writes(), 0u);
+  cache.flush();
+  EXPECT_EQ(inner.writes(), 1u);
+  std::vector<std::uint8_t> out(kBlockSize);
+  inner.read(3, 1, out);
+  EXPECT_EQ(std::vector<std::uint8_t>(data.begin(), data.end()), out);
+}
+
+TEST(CachedBlockDeviceTest, EvictionWritesDirtyBack) {
+  MemBlockDevice inner(1024);
+  CachedBlockDevice cache(inner, 4, 100);  // tiny cache, high dirty limit
+  const auto data = pattern(kBlockSize, 7);
+  for (Lba l = 0; l < 8; ++l) cache.write(l, 1, data, WriteMode::kAsync);
+  // Capacity 4 => at least 4 blocks were evicted (written back).
+  EXPECT_GE(inner.writes(), 4u);
+  std::vector<std::uint8_t> out(kBlockSize);
+  cache.read(0, 1, out);  // evicted earlier; reads back the written data
+  EXPECT_EQ(std::vector<std::uint8_t>(data.begin(), data.end()), out);
+}
+
+TEST(LocalDeviceTest, SyncWriteAcksFromNvram) {
+  sim::Env env;
+  Raid5Config cfg;
+  cfg.disk.block_count = 4096;
+  Raid5Array raid(cfg);
+  LocalBlockDevice dev(env, raid);
+  const auto data = pattern(kBlockSize, 8);
+  dev.write(11, 1, data, WriteMode::kSync);
+  EXPECT_LT(env.now(), sim::milliseconds(1));  // NVRAM ack, not spindle time
+  std::vector<std::uint8_t> out(kBlockSize);
+  dev.read(11, 1, out);
+  EXPECT_EQ(std::vector<std::uint8_t>(data.begin(), data.end()), out);
+}
+
+}  // namespace
+}  // namespace netstore::block

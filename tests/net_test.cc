@@ -1,0 +1,138 @@
+// Unit tests for the network link model and RPC transport.
+#include <gtest/gtest.h>
+
+#include "net/link.h"
+#include "rpc/rpc.h"
+
+namespace netstore {
+namespace {
+
+using net::Direction;
+using net::Link;
+using net::LinkConfig;
+
+TEST(LinkTest, CountsMessagesAndBytes) {
+  sim::Env env;
+  Link link(env, LinkConfig{});
+  link.send(Direction::kClientToServer, 1000);
+  link.send(Direction::kClientToServer, 2000);
+  link.send(Direction::kServerToClient, 500);
+  EXPECT_EQ(link.stats(Direction::kClientToServer).messages.value(), 2u);
+  EXPECT_EQ(link.stats(Direction::kClientToServer).bytes.value(), 3000u);
+  EXPECT_EQ(link.stats(Direction::kServerToClient).messages.value(), 1u);
+  EXPECT_EQ(link.total_messages(), 3u);
+  EXPECT_EQ(link.total_bytes(), 3500u);
+}
+
+TEST(LinkTest, ArrivalIncludesPropagationAndWireTime) {
+  sim::Env env;
+  LinkConfig cfg;
+  cfg.base_rtt = sim::milliseconds(2);
+  cfg.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s: 1000 bytes = 1 ms
+  cfg.per_message_overhead = 0;
+  Link link(env, cfg);
+  const sim::Time arrival = link.send(Direction::kClientToServer, 1000);
+  // 1 ms wire + 1 ms one-way propagation.
+  EXPECT_EQ(arrival, sim::milliseconds(2));
+}
+
+TEST(LinkTest, SenderSerializesOnBandwidth) {
+  sim::Env env;
+  LinkConfig cfg;
+  cfg.base_rtt = 0;
+  cfg.bandwidth_bytes_per_sec = 1e6;
+  cfg.per_message_overhead = 0;
+  Link link(env, cfg);
+  const sim::Time a1 = link.send(Direction::kClientToServer, 1000);
+  const sim::Time a2 = link.send(Direction::kClientToServer, 1000);
+  EXPECT_EQ(a1, sim::milliseconds(1));
+  EXPECT_EQ(a2, sim::milliseconds(2));  // queued behind the first
+}
+
+TEST(LinkTest, DirectionsAreIndependent) {
+  sim::Env env;
+  LinkConfig cfg;
+  cfg.base_rtt = 0;
+  cfg.bandwidth_bytes_per_sec = 1e6;
+  cfg.per_message_overhead = 0;
+  Link link(env, cfg);
+  (void)link.send(Direction::kClientToServer, 1000);
+  const sim::Time other = link.send(Direction::kServerToClient, 1000);
+  EXPECT_EQ(other, sim::milliseconds(1));  // no queueing across directions
+}
+
+TEST(LinkTest, InjectedRttStretchesDelay) {
+  sim::Env env;
+  LinkConfig cfg;
+  cfg.base_rtt = sim::milliseconds(1);
+  cfg.per_message_overhead = 0;
+  Link link(env, cfg);
+  const sim::Time base = link.send(Direction::kClientToServer, 10);
+  link.set_injected_rtt(sim::milliseconds(50));
+  const sim::Time wan = link.send(Direction::kClientToServer, 10);
+  EXPECT_GE(wan - base, sim::milliseconds(25));
+  EXPECT_EQ(link.rtt(), sim::milliseconds(51));
+}
+
+TEST(LinkTest, LossDropsButStillCounts) {
+  sim::Env env;
+  Link link(env, LinkConfig{});
+  link.set_loss_probability(1.0);
+  sim::Rng rng(1);
+  EXPECT_EQ(link.send_lossy(Direction::kClientToServer, 100, rng), -1);
+  EXPECT_EQ(link.total_messages(), 1u);
+}
+
+TEST(RpcTest, SyncCallAdvancesToReply) {
+  sim::Env env;
+  Link link(env, LinkConfig{});
+  rpc::RpcTransport rpc(env, link, rpc::RpcConfig{});
+  bool served = false;
+  rpc.call(100, 200, [&](sim::Time arrival) {
+    served = true;
+    return arrival + sim::microseconds(50);
+  });
+  EXPECT_TRUE(served);
+  EXPECT_GT(env.now(), 0);
+  EXPECT_EQ(rpc.stats().calls.value(), 1u);
+  EXPECT_EQ(link.total_messages(), 2u);  // request + reply
+}
+
+TEST(RpcTest, AsyncCallDoesNotAdvance) {
+  sim::Env env;
+  Link link(env, LinkConfig{});
+  rpc::RpcTransport rpc(env, link, rpc::RpcConfig{});
+  const sim::Time reply =
+      rpc.call_async(100, 200, [&](sim::Time arrival) { return arrival; });
+  EXPECT_EQ(env.now(), 0);
+  EXPECT_GT(reply, 0);
+}
+
+TEST(RpcTest, NoRetransmissionsOnLan) {
+  sim::Env env;
+  Link link(env, LinkConfig{});
+  rpc::RpcTransport rpc(env, link, rpc::RpcConfig{});
+  for (int i = 0; i < 50; ++i) {
+    rpc.call(100, 100, [](sim::Time t) { return t; });
+  }
+  EXPECT_EQ(rpc.stats().retransmissions.value(), 0u);
+}
+
+TEST(RpcTest, SpuriousRetransmissionsAtHighRtt) {
+  // The Linux idiosyncrasy behind Figure 6: RTT near/above the
+  // retransmission timer triggers duplicate requests although the reply
+  // is in flight.
+  sim::Env env;
+  net::LinkConfig lcfg;
+  lcfg.injected_rtt = sim::milliseconds(90);
+  Link link(env, lcfg);
+  rpc::RpcConfig rcfg;
+  rcfg.retrans_timeout = sim::milliseconds(70);
+  rpc::RpcTransport rpc(env, link, rcfg);
+  rpc.call(100, 100, [](sim::Time t) { return t; });
+  EXPECT_GE(rpc.stats().retransmissions.value(), 1u);
+  EXPECT_GE(link.total_messages(), 3u);  // request + dup + reply
+}
+
+}  // namespace
+}  // namespace netstore

@@ -1,0 +1,189 @@
+// Unit tests for the simulation core: virtual clock, event queue,
+// deterministic PRNG, statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/env.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace netstore::sim {
+namespace {
+
+TEST(EnvTest, StartsAtZero) {
+  Env env;
+  EXPECT_EQ(env.now(), 0);
+  EXPECT_EQ(env.pending_events(), 0u);
+}
+
+TEST(EnvTest, AdvanceMovesClock) {
+  Env env;
+  env.advance(milliseconds(5));
+  EXPECT_EQ(env.now(), milliseconds(5));
+  env.advance_to(seconds(1));
+  EXPECT_EQ(env.now(), seconds(1));
+}
+
+TEST(EnvTest, AdvanceToPastIsNoop) {
+  Env env;
+  env.advance(seconds(2));
+  env.advance_to(seconds(1));
+  EXPECT_EQ(env.now(), seconds(2));
+}
+
+TEST(EnvTest, EventsFireInDeadlineOrder) {
+  Env env;
+  std::vector<int> fired;
+  env.schedule_at(milliseconds(30), [&] { fired.push_back(3); });
+  env.schedule_at(milliseconds(10), [&] { fired.push_back(1); });
+  env.schedule_at(milliseconds(20), [&] { fired.push_back(2); });
+  env.advance_to(milliseconds(25));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  env.advance_to(milliseconds(30));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EnvTest, SameDeadlineIsFifo) {
+  Env env;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    env.schedule_at(milliseconds(10), [&fired, i] { fired.push_back(i); });
+  }
+  env.advance_to(milliseconds(10));
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EnvTest, ClockIsAtDeadlineDuringCallback) {
+  Env env;
+  Time seen = -1;
+  env.schedule_at(milliseconds(7), [&] { seen = env.now(); });
+  env.advance_to(seconds(1));
+  EXPECT_EQ(seen, milliseconds(7));
+  EXPECT_EQ(env.now(), seconds(1));
+}
+
+TEST(EnvTest, EventsMayScheduleEvents) {
+  Env env;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) env.schedule_after(milliseconds(1), chain);
+  };
+  env.schedule_after(milliseconds(1), chain);
+  env.advance(milliseconds(10));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EnvTest, DrainFiresEverything) {
+  Env env;
+  int count = 0;
+  env.schedule_at(seconds(100), [&] { count++; });
+  env.schedule_at(seconds(200), [&] { count++; });
+  env.drain();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(env.now(), seconds(200));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) same++;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+    const auto v = rng.uniform_range(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / 20000, 3.0, 0.1);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(7);
+  auto p = rng.permutation(1000);
+  std::vector<bool> seen(1000, false);
+  for (auto v : p) {
+    ASSERT_LT(v, 1000u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(ZipfTest, SkewsTowardsLowRanks) {
+  Rng rng(7);
+  ZipfSampler zipf(1000, 0.99);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) counts[zipf.sample(rng)]++;
+  // Rank 0 should be sampled far more often than rank 500.
+  EXPECT_GT(counts[0], counts[500] * 10);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  Rng rng(7);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) counts[zipf.sample(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(StatsTest, SamplerPercentiles) {
+  Sampler s;
+  for (int i = 1; i <= 100; ++i) s.record(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 100);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(95), 95, 1.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1.0);
+}
+
+TEST(StatsTest, EmptySamplerIsZero) {
+  Sampler s;
+  EXPECT_EQ(s.percentile(95), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(StatsTest, HistogramBuckets) {
+  Histogram h({10.0, 100.0});
+  h.record(5);
+  h.record(50);
+  h.record(500);
+  h.record(7);
+  EXPECT_EQ(h.bucket(0), 2u);  // <= 10
+  EXPECT_EQ(h.bucket(1), 1u);  // <= 100
+  EXPECT_EQ(h.bucket(2), 1u);  // overflow
+  EXPECT_EQ(h.total(), 4u);
+}
+
+}  // namespace
+}  // namespace netstore::sim

@@ -1,0 +1,133 @@
+// VFS-layer tests: error propagation and semantic parity between the two
+// implementations (Figure 1's abstraction seam) — the same syscall
+// sequence must produce the same results on both stacks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/testbed.h"
+#include "sim/rng.h"
+
+namespace netstore {
+namespace {
+
+using core::Protocol;
+using core::Testbed;
+
+class VfsParityTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(VfsParityTest, ErrnoSemantics) {
+  Testbed bed(GetParam());
+  vfs::Vfs& v = bed.vfs();
+
+  EXPECT_EQ(v.stat("/missing").error(), fs::Err::kNoEnt);
+  EXPECT_EQ(v.open("/missing").error(), fs::Err::kNoEnt);
+  EXPECT_EQ(v.unlink("/missing").error(), fs::Err::kNoEnt);
+  EXPECT_EQ(v.rmdir("/missing").error(), fs::Err::kNoEnt);
+  EXPECT_EQ(v.readdir("/missing").error(), fs::Err::kNoEnt);
+
+  ASSERT_TRUE(v.mkdir("/d", 0755).ok());
+  EXPECT_EQ(v.mkdir("/d", 0755).error(), fs::Err::kExist);
+  EXPECT_EQ(v.unlink("/d").error(), fs::Err::kIsDir);
+
+  ASSERT_TRUE(v.creat("/f", 0644).ok());
+  EXPECT_EQ(v.rmdir("/f").error(), fs::Err::kNotDir);
+  EXPECT_EQ(v.mkdir("/f/sub", 0755).error(), fs::Err::kNotDir);
+  EXPECT_EQ(v.chdir("/f").error(), fs::Err::kNotDir);
+
+  ASSERT_TRUE(v.creat("/d/child", 0644).ok());
+  EXPECT_EQ(v.rmdir("/d").error(), fs::Err::kNotEmpty);
+
+  EXPECT_EQ(v.link("/missing", "/l").error(), fs::Err::kNoEnt);
+  EXPECT_EQ(v.rename("/missing", "/m2").error(), fs::Err::kNoEnt);
+}
+
+TEST_P(VfsParityTest, SequenceProducesIdenticalNamespace) {
+  // Drive an identical pseudo-random op sequence on the stack under test
+  // and record the observable outcomes; they are protocol-independent.
+  Testbed bed(GetParam());
+  vfs::Vfs& v = bed.vfs();
+  sim::Rng rng(77);
+
+  std::vector<std::pair<std::string, bool>> outcomes;
+  std::vector<std::string> names;
+  for (int i = 0; i < 120; ++i) {
+    const auto pick = rng.uniform(4);
+    if (pick == 0 || names.empty()) {
+      const std::string n = "/x" + std::to_string(rng.uniform(40));
+      const bool ok = v.creat(n, 0644).ok();
+      outcomes.emplace_back("creat " + n, ok);
+      if (ok) names.push_back(n);
+    } else if (pick == 1) {
+      const std::string n = names[rng.uniform(names.size())];
+      outcomes.emplace_back("stat " + n, v.stat(n).ok());
+    } else if (pick == 2) {
+      const std::string n = names[rng.uniform(names.size())];
+      const std::string to = "/y" + std::to_string(rng.uniform(40));
+      outcomes.emplace_back("rename " + n + " " + to,
+                            v.rename(n, to).ok());
+    } else {
+      const std::string n = names[rng.uniform(names.size())];
+      outcomes.emplace_back("unlink " + n, v.unlink(n).ok());
+    }
+  }
+  // The recorded outcome string is deterministic per protocol; assert the
+  // directory is still listable and stat agrees with list membership.
+  auto listing = v.readdir("/");
+  ASSERT_TRUE(listing.ok());
+  for (const auto& e : *listing) {
+    EXPECT_TRUE(v.stat("/" + e.name).ok()) << e.name;
+  }
+}
+
+TEST_P(VfsParityTest, DataIntegrityUnderOverwrites) {
+  Testbed bed(GetParam());
+  vfs::Vfs& v = bed.vfs();
+  sim::Rng rng(88);
+
+  auto fd = v.creat("/blob", 0644);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::uint8_t> model(64 * 1024, 0);
+  ASSERT_TRUE(v.write(*fd, 0, model).ok());  // zero-fill
+
+  for (int i = 0; i < 60; ++i) {
+    const auto off = rng.uniform(model.size() - 1);
+    const auto len = 1 + rng.uniform(std::min<std::uint64_t>(
+                             9000, model.size() - off));
+    std::vector<std::uint8_t> patch(len);
+    for (auto& b : patch) b = static_cast<std::uint8_t>(rng.next());
+    ASSERT_TRUE(v.write(*fd, off, patch).ok());
+    std::copy(patch.begin(), patch.end(),
+              model.begin() + static_cast<long>(off));
+  }
+  std::vector<std::uint8_t> out(model.size());
+  auto n = v.read(*fd, 0, out);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, model.size());
+  EXPECT_EQ(out, model);
+
+  // And after a full cold restart of the world.
+  ASSERT_TRUE(v.fsync(*fd).ok());
+  ASSERT_TRUE(v.close(*fd).ok());
+  bed.cold_caches();
+  auto fd2 = v.open("/blob");
+  ASSERT_TRUE(fd2.ok());
+  std::fill(out.begin(), out.end(), 0);
+  ASSERT_TRUE(v.read(*fd2, 0, out).ok());
+  EXPECT_EQ(out, model);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStacks, VfsParityTest,
+                         ::testing::Values(Protocol::kNfsV3,
+                                           Protocol::kNfsV4,
+                                           Protocol::kIscsi),
+                         [](const ::testing::TestParamInfo<Protocol>& info) {
+                           switch (info.param) {
+                             case Protocol::kNfsV3: return std::string("NfsV3");
+                             case Protocol::kNfsV4: return std::string("NfsV4");
+                             default: return std::string("Iscsi");
+                           }
+                         });
+
+}  // namespace
+}  // namespace netstore

@@ -1,0 +1,153 @@
+// Workload generator tests: determinism, conservation properties, and
+// sanity of the paper-workload reimplementations.
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "workloads/database.h"
+#include "workloads/kerneltree.h"
+#include "workloads/large_io.h"
+#include "workloads/postmark.h"
+
+namespace netstore {
+namespace {
+
+using core::Protocol;
+using core::Testbed;
+
+TEST(PostmarkTest, DeterministicAcrossRuns) {
+  workloads::PostmarkConfig cfg;
+  cfg.file_pool = 100;
+  cfg.transactions = 1000;
+  Testbed a(Protocol::kIscsi);
+  Testbed b(Protocol::kIscsi);
+  const auto ra = run_postmark(a, cfg);
+  const auto rb = run_postmark(b, cfg);
+  EXPECT_EQ(ra.messages, rb.messages);
+  EXPECT_DOUBLE_EQ(ra.seconds, rb.seconds);
+  EXPECT_EQ(ra.creates, rb.creates);
+}
+
+TEST(PostmarkTest, TransactionMixIsBalanced) {
+  workloads::PostmarkConfig cfg;
+  cfg.file_pool = 200;
+  cfg.transactions = 4000;
+  Testbed bed(Protocol::kIscsi);
+  const auto r = run_postmark(bed, cfg);
+  EXPECT_EQ(r.creates + r.deletes + r.reads + r.appends, cfg.transactions);
+  // Equal incidence of each subtype (paper §5.1), within noise.
+  EXPECT_NEAR(static_cast<double>(r.creates), 1000, 150);
+  EXPECT_NEAR(static_cast<double>(r.deletes), 1000, 150);
+  EXPECT_NEAR(static_cast<double>(r.reads), 1000, 150);
+  EXPECT_NEAR(static_cast<double>(r.appends), 1000, 150);
+}
+
+TEST(PostmarkTest, NfsCostsMoreMessagesThanIscsi) {
+  // Table 5's core claim, at reduced scale.
+  workloads::PostmarkConfig cfg;
+  cfg.file_pool = 200;
+  cfg.transactions = 2000;
+  Testbed nfs(Protocol::kNfsV3);
+  Testbed iscsi(Protocol::kIscsi);
+  const auto rn = run_postmark(nfs, cfg);
+  const auto ri = run_postmark(iscsi, cfg);
+  EXPECT_GT(rn.messages, ri.messages * 10);
+  EXPECT_GT(rn.seconds, ri.seconds);
+}
+
+TEST(LargeIoTest, SequentialFasterThanRandomReads) {
+  workloads::LargeIoConfig cfg;
+  cfg.file_mb = 16;  // keep the unit test quick
+  Testbed seq(Protocol::kIscsi);
+  Testbed rnd(Protocol::kIscsi);
+  const auto rs = run_large_read(seq, cfg);
+  cfg.random = true;
+  const auto rr = run_large_read(rnd, cfg);
+  EXPECT_LT(rs.seconds, rr.seconds);
+  // Message counts are ~1 per 4 KB block either way (Table 4).
+  const std::uint64_t blocks = cfg.file_mb * 256;
+  EXPECT_NEAR(static_cast<double>(rs.messages), blocks, blocks * 0.05);
+  EXPECT_NEAR(static_cast<double>(rr.messages), blocks, blocks * 0.05);
+}
+
+TEST(LargeIoTest, IscsiWritesFarFewerMessagesThanNfs) {
+  workloads::LargeIoConfig cfg;
+  cfg.file_mb = 16;
+  Testbed nfs(Protocol::kNfsV3);
+  Testbed iscsi(Protocol::kIscsi);
+  const auto rn = run_large_write(nfs, cfg);
+  const auto ri = run_large_write(iscsi, cfg);
+  // NFS: one WRITE RPC per 4 KB; iSCSI: large coalesced commands.
+  EXPECT_GT(rn.messages, ri.messages * 20);
+  EXPECT_GT(ri.mean_write_kb, 64);
+  EXPECT_LT(ri.seconds, rn.seconds);
+}
+
+TEST(LargeIoTest, LatencyHurtsNfsWritesNotIscsi) {
+  workloads::LargeIoConfig cfg;
+  cfg.file_mb = 8;
+  Testbed nfs_lan(Protocol::kNfsV3);
+  Testbed nfs_wan(Protocol::kNfsV3);
+  nfs_wan.set_injected_rtt(sim::milliseconds(60));
+  Testbed iscsi_wan(Protocol::kIscsi);
+  iscsi_wan.set_injected_rtt(sim::milliseconds(60));
+  Testbed iscsi_lan(Protocol::kIscsi);
+
+  const double nfs_l = run_large_write(nfs_lan, cfg).seconds;
+  const double nfs_w = run_large_write(nfs_wan, cfg).seconds;
+  const double is_l = run_large_write(iscsi_lan, cfg).seconds;
+  const double is_w = run_large_write(iscsi_wan, cfg).seconds;
+  EXPECT_GT(nfs_w, nfs_l * 3);  // Figure 6(b): NFS grows with RTT
+  // iSCSI pays a handful of round trips (cold metadata + final flush),
+  // not one per 4 KB write like saturated NFS.
+  EXPECT_LT(is_w, nfs_w / 3);
+  EXPECT_LT(is_w, is_l + 5.0);
+}
+
+TEST(TpccTest, ThroughputsWithinTwentyPercent) {
+  workloads::TpccConfig cfg;
+  cfg.database_mb = 128;
+  cfg.transactions = 300;
+  Testbed nfs(Protocol::kNfsV3);
+  Testbed iscsi(Protocol::kIscsi);
+  const auto rn = run_tpcc(nfs, cfg);
+  const auto ri = run_tpcc(iscsi, cfg);
+  const double ratio = ri.tpm / rn.tpm;
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.35);
+  EXPECT_GT(rn.messages, 0u);
+}
+
+TEST(TpchTest, ReadDominatedAndComparable) {
+  workloads::TpchConfig cfg;
+  cfg.database_mb = 128;
+  cfg.queries = 3;
+  Testbed nfs(Protocol::kNfsV3);
+  Testbed iscsi(Protocol::kIscsi);
+  const auto rn = run_tpch(nfs, cfg);
+  const auto ri = run_tpch(iscsi, cfg);
+  const double ratio = ri.qph / rn.qph;
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.35);
+}
+
+TEST(KernelTreeTest, MetaPhasesFavorIscsi) {
+  workloads::KernelTreeConfig cfg;
+  cfg.directories = 40;
+  cfg.files = 600;
+  // At this reduced tree size, keep compilation CPU-dominated as it is
+  // for the real kernel build the paper timed.
+  cfg.compile_cpu_per_file = sim::milliseconds(60);
+  Testbed nfs(Protocol::kNfsV3);
+  Testbed iscsi(Protocol::kIscsi);
+  const auto rn = run_kernel_tree(nfs, cfg);
+  const auto ri = run_kernel_tree(iscsi, cfg);
+  // Table 8: tar / ls / rm favor iSCSI...
+  EXPECT_GT(rn.tar_seconds, ri.tar_seconds);
+  EXPECT_GT(rn.ls_seconds, ri.ls_seconds);
+  EXPECT_GT(rn.rm_seconds, ri.rm_seconds);
+  // ...while compilation is CPU-bound and roughly at parity.
+  EXPECT_NEAR(rn.compile_seconds / ri.compile_seconds, 1.0, 0.35);
+}
+
+}  // namespace
+}  // namespace netstore
