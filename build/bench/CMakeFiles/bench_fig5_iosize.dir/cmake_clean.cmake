@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_iosize.dir/bench_fig5_iosize.cc.o"
+  "CMakeFiles/bench_fig5_iosize.dir/bench_fig5_iosize.cc.o.d"
+  "bench_fig5_iosize"
+  "bench_fig5_iosize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_iosize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sharing.dir/bench_fig7_sharing.cc.o"
+  "CMakeFiles/bench_fig7_sharing.dir/bench_fig7_sharing.cc.o.d"
+  "bench_fig7_sharing"
+  "bench_fig7_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

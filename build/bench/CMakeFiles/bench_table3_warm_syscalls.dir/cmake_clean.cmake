@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_warm_syscalls.dir/bench_table3_warm_syscalls.cc.o"
+  "CMakeFiles/bench_table3_warm_syscalls.dir/bench_table3_warm_syscalls.cc.o.d"
+  "bench_table3_warm_syscalls"
+  "bench_table3_warm_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_warm_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_seqrand.dir/bench_table4_seqrand.cc.o"
+  "CMakeFiles/bench_table4_seqrand.dir/bench_table4_seqrand.cc.o.d"
+  "bench_table4_seqrand"
+  "bench_table4_seqrand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_seqrand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_postmark.dir/bench_table5_postmark.cc.o"
+  "CMakeFiles/bench_table5_postmark.dir/bench_table5_postmark.cc.o.d"
+  "bench_table5_postmark"
+  "bench_table5_postmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_postmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

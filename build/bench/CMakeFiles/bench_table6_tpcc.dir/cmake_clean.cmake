@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_tpcc.dir/bench_table6_tpcc.cc.o"
+  "CMakeFiles/bench_table6_tpcc.dir/bench_table6_tpcc.cc.o.d"
+  "bench_table6_tpcc"
+  "bench_table6_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

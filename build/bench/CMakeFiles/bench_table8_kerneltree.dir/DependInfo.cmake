@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table8_kerneltree.cc" "bench/CMakeFiles/bench_table8_kerneltree.dir/bench_table8_kerneltree.cc.o" "gcc" "bench/CMakeFiles/bench_table8_kerneltree.dir/bench_table8_kerneltree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/netstore_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/netstore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/netstore_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/netstore_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/iscsi/CMakeFiles/netstore_iscsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/scsi/CMakeFiles/netstore_scsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/netstore_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/netstore_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/netstore_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netstore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netstore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_kerneltree.dir/bench_table8_kerneltree.cc.o"
+  "CMakeFiles/bench_table8_kerneltree.dir/bench_table8_kerneltree.cc.o.d"
+  "bench_table8_kerneltree"
+  "bench_table8_kerneltree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_kerneltree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

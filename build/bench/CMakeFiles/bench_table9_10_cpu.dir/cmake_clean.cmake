@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_10_cpu.dir/bench_table9_10_cpu.cc.o"
+  "CMakeFiles/bench_table9_10_cpu.dir/bench_table9_10_cpu.cc.o.d"
+  "bench_table9_10_cpu"
+  "bench_table9_10_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_10_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_branch_office.dir/wan_branch_office.cpp.o"
+  "CMakeFiles/wan_branch_office.dir/wan_branch_office.cpp.o.d"
+  "wan_branch_office"
+  "wan_branch_office.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_branch_office.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/cached_device.cc" "src/block/CMakeFiles/netstore_block.dir/cached_device.cc.o" "gcc" "src/block/CMakeFiles/netstore_block.dir/cached_device.cc.o.d"
+  "/root/repo/src/block/disk.cc" "src/block/CMakeFiles/netstore_block.dir/disk.cc.o" "gcc" "src/block/CMakeFiles/netstore_block.dir/disk.cc.o.d"
+  "/root/repo/src/block/raid5.cc" "src/block/CMakeFiles/netstore_block.dir/raid5.cc.o" "gcc" "src/block/CMakeFiles/netstore_block.dir/raid5.cc.o.d"
+  "/root/repo/src/block/timed_cache.cc" "src/block/CMakeFiles/netstore_block.dir/timed_cache.cc.o" "gcc" "src/block/CMakeFiles/netstore_block.dir/timed_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/netstore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstore_block.dir/cached_device.cc.o"
+  "CMakeFiles/netstore_block.dir/cached_device.cc.o.d"
+  "CMakeFiles/netstore_block.dir/disk.cc.o"
+  "CMakeFiles/netstore_block.dir/disk.cc.o.d"
+  "CMakeFiles/netstore_block.dir/raid5.cc.o"
+  "CMakeFiles/netstore_block.dir/raid5.cc.o.d"
+  "CMakeFiles/netstore_block.dir/timed_cache.cc.o"
+  "CMakeFiles/netstore_block.dir/timed_cache.cc.o.d"
+  "libnetstore_block.a"
+  "libnetstore_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstore_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

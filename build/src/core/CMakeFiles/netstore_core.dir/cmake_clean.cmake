@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstore_core.dir/cpu_model.cc.o"
+  "CMakeFiles/netstore_core.dir/cpu_model.cc.o.d"
+  "CMakeFiles/netstore_core.dir/testbed.cc.o"
+  "CMakeFiles/netstore_core.dir/testbed.cc.o.d"
+  "libnetstore_core.a"
+  "libnetstore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/bcache.cc" "src/fs/CMakeFiles/netstore_fs.dir/bcache.cc.o" "gcc" "src/fs/CMakeFiles/netstore_fs.dir/bcache.cc.o.d"
+  "/root/repo/src/fs/ext3.cc" "src/fs/CMakeFiles/netstore_fs.dir/ext3.cc.o" "gcc" "src/fs/CMakeFiles/netstore_fs.dir/ext3.cc.o.d"
+  "/root/repo/src/fs/journal.cc" "src/fs/CMakeFiles/netstore_fs.dir/journal.cc.o" "gcc" "src/fs/CMakeFiles/netstore_fs.dir/journal.cc.o.d"
+  "/root/repo/src/fs/layout.cc" "src/fs/CMakeFiles/netstore_fs.dir/layout.cc.o" "gcc" "src/fs/CMakeFiles/netstore_fs.dir/layout.cc.o.d"
+  "/root/repo/src/fs/page_cache.cc" "src/fs/CMakeFiles/netstore_fs.dir/page_cache.cc.o" "gcc" "src/fs/CMakeFiles/netstore_fs.dir/page_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/block/CMakeFiles/netstore_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netstore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

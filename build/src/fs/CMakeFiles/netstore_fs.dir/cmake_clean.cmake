@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstore_fs.dir/bcache.cc.o"
+  "CMakeFiles/netstore_fs.dir/bcache.cc.o.d"
+  "CMakeFiles/netstore_fs.dir/ext3.cc.o"
+  "CMakeFiles/netstore_fs.dir/ext3.cc.o.d"
+  "CMakeFiles/netstore_fs.dir/journal.cc.o"
+  "CMakeFiles/netstore_fs.dir/journal.cc.o.d"
+  "CMakeFiles/netstore_fs.dir/layout.cc.o"
+  "CMakeFiles/netstore_fs.dir/layout.cc.o.d"
+  "CMakeFiles/netstore_fs.dir/page_cache.cc.o"
+  "CMakeFiles/netstore_fs.dir/page_cache.cc.o.d"
+  "libnetstore_fs.a"
+  "libnetstore_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstore_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iscsi/initiator.cc" "src/iscsi/CMakeFiles/netstore_iscsi.dir/initiator.cc.o" "gcc" "src/iscsi/CMakeFiles/netstore_iscsi.dir/initiator.cc.o.d"
+  "/root/repo/src/iscsi/target.cc" "src/iscsi/CMakeFiles/netstore_iscsi.dir/target.cc.o" "gcc" "src/iscsi/CMakeFiles/netstore_iscsi.dir/target.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scsi/CMakeFiles/netstore_scsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netstore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/netstore_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netstore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstore_iscsi.dir/initiator.cc.o"
+  "CMakeFiles/netstore_iscsi.dir/initiator.cc.o.d"
+  "CMakeFiles/netstore_iscsi.dir/target.cc.o"
+  "CMakeFiles/netstore_iscsi.dir/target.cc.o.d"
+  "libnetstore_iscsi.a"
+  "libnetstore_iscsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstore_iscsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

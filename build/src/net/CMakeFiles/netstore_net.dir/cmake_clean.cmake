@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstore_net.dir/link.cc.o"
+  "CMakeFiles/netstore_net.dir/link.cc.o.d"
+  "libnetstore_net.a"
+  "libnetstore_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstore_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs/client.cc" "src/nfs/CMakeFiles/netstore_nfs.dir/client.cc.o" "gcc" "src/nfs/CMakeFiles/netstore_nfs.dir/client.cc.o.d"
+  "/root/repo/src/nfs/client_data.cc" "src/nfs/CMakeFiles/netstore_nfs.dir/client_data.cc.o" "gcc" "src/nfs/CMakeFiles/netstore_nfs.dir/client_data.cc.o.d"
+  "/root/repo/src/nfs/client_deleg.cc" "src/nfs/CMakeFiles/netstore_nfs.dir/client_deleg.cc.o" "gcc" "src/nfs/CMakeFiles/netstore_nfs.dir/client_deleg.cc.o.d"
+  "/root/repo/src/nfs/server.cc" "src/nfs/CMakeFiles/netstore_nfs.dir/server.cc.o" "gcc" "src/nfs/CMakeFiles/netstore_nfs.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/netstore_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/netstore_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netstore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netstore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/netstore_block.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstore_nfs.dir/client.cc.o"
+  "CMakeFiles/netstore_nfs.dir/client.cc.o.d"
+  "CMakeFiles/netstore_nfs.dir/client_data.cc.o"
+  "CMakeFiles/netstore_nfs.dir/client_data.cc.o.d"
+  "CMakeFiles/netstore_nfs.dir/client_deleg.cc.o"
+  "CMakeFiles/netstore_nfs.dir/client_deleg.cc.o.d"
+  "CMakeFiles/netstore_nfs.dir/server.cc.o"
+  "CMakeFiles/netstore_nfs.dir/server.cc.o.d"
+  "libnetstore_nfs.a"
+  "libnetstore_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstore_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstore_rpc.dir/rpc.cc.o"
+  "CMakeFiles/netstore_rpc.dir/rpc.cc.o.d"
+  "libnetstore_rpc.a"
+  "libnetstore_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstore_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstore_scsi.dir/scsi.cc.o"
+  "CMakeFiles/netstore_scsi.dir/scsi.cc.o.d"
+  "libnetstore_scsi.a"
+  "libnetstore_scsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstore_scsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstore_sim.dir/env.cc.o"
+  "CMakeFiles/netstore_sim.dir/env.cc.o.d"
+  "CMakeFiles/netstore_sim.dir/rng.cc.o"
+  "CMakeFiles/netstore_sim.dir/rng.cc.o.d"
+  "CMakeFiles/netstore_sim.dir/stats.cc.o"
+  "CMakeFiles/netstore_sim.dir/stats.cc.o.d"
+  "libnetstore_sim.a"
+  "libnetstore_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstore_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstore_vfs.dir/local_vfs.cc.o"
+  "CMakeFiles/netstore_vfs.dir/local_vfs.cc.o.d"
+  "libnetstore_vfs.a"
+  "libnetstore_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstore_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetstore_vfs.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/database.cc" "src/workloads/CMakeFiles/netstore_workloads.dir/database.cc.o" "gcc" "src/workloads/CMakeFiles/netstore_workloads.dir/database.cc.o.d"
+  "/root/repo/src/workloads/kerneltree.cc" "src/workloads/CMakeFiles/netstore_workloads.dir/kerneltree.cc.o" "gcc" "src/workloads/CMakeFiles/netstore_workloads.dir/kerneltree.cc.o.d"
+  "/root/repo/src/workloads/large_io.cc" "src/workloads/CMakeFiles/netstore_workloads.dir/large_io.cc.o" "gcc" "src/workloads/CMakeFiles/netstore_workloads.dir/large_io.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/workloads/CMakeFiles/netstore_workloads.dir/microbench.cc.o" "gcc" "src/workloads/CMakeFiles/netstore_workloads.dir/microbench.cc.o.d"
+  "/root/repo/src/workloads/postmark.cc" "src/workloads/CMakeFiles/netstore_workloads.dir/postmark.cc.o" "gcc" "src/workloads/CMakeFiles/netstore_workloads.dir/postmark.cc.o.d"
+  "/root/repo/src/workloads/traces.cc" "src/workloads/CMakeFiles/netstore_workloads.dir/traces.cc.o" "gcc" "src/workloads/CMakeFiles/netstore_workloads.dir/traces.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/netstore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/netstore_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/netstore_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/iscsi/CMakeFiles/netstore_iscsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/scsi/CMakeFiles/netstore_scsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/netstore_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/netstore_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/netstore_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/netstore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netstore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netstore_workloads.dir/database.cc.o"
+  "CMakeFiles/netstore_workloads.dir/database.cc.o.d"
+  "CMakeFiles/netstore_workloads.dir/kerneltree.cc.o"
+  "CMakeFiles/netstore_workloads.dir/kerneltree.cc.o.d"
+  "CMakeFiles/netstore_workloads.dir/large_io.cc.o"
+  "CMakeFiles/netstore_workloads.dir/large_io.cc.o.d"
+  "CMakeFiles/netstore_workloads.dir/microbench.cc.o"
+  "CMakeFiles/netstore_workloads.dir/microbench.cc.o.d"
+  "CMakeFiles/netstore_workloads.dir/postmark.cc.o"
+  "CMakeFiles/netstore_workloads.dir/postmark.cc.o.d"
+  "CMakeFiles/netstore_workloads.dir/traces.cc.o"
+  "CMakeFiles/netstore_workloads.dir/traces.cc.o.d"
+  "libnetstore_workloads.a"
+  "libnetstore_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netstore_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iscsi_test.dir/iscsi_test.cc.o"
+  "CMakeFiles/iscsi_test.dir/iscsi_test.cc.o.d"
+  "iscsi_test"
+  "iscsi_test.pdb"
+  "iscsi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iscsi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revoke_test.dir/revoke_test.cc.o"
+  "CMakeFiles/revoke_test.dir/revoke_test.cc.o.d"
+  "revoke_test"
+  "revoke_test.pdb"
+  "revoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
