@@ -1,6 +1,6 @@
 #include "block/cached_device.h"
 
-#include <cassert>
+#include "core/check.h"
 #include <cstring>
 
 namespace netstore::block {
@@ -11,7 +11,7 @@ CachedBlockDevice::CachedBlockDevice(BlockDevice& inner,
     : inner_(inner),
       capacity_(capacity_blocks),
       dirty_high_water_(dirty_high_water) {
-  assert(capacity_ > 0);
+  NETSTORE_CHECK_GT(capacity_, 0u);
 }
 
 CachedBlockDevice::Entry& CachedBlockDevice::touch(LruList::iterator it) {
@@ -28,7 +28,7 @@ void CachedBlockDevice::insert(Lba lba, BlockView data, bool dirty) {
 }
 
 void CachedBlockDevice::evict_one() {
-  assert(!lru_.empty());
+  NETSTORE_CHECK(!lru_.empty(), "evict from an empty cache");
   // Prefer the coldest clean block; fall back to writing back the coldest
   // dirty block.
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
@@ -47,7 +47,7 @@ void CachedBlockDevice::evict_one() {
 }
 
 void CachedBlockDevice::writeback(Lba lba, Entry& e, WriteMode mode) {
-  assert(e.dirty);
+  NETSTORE_CHECK(e.dirty, "writeback of a clean block");
   inner_.write(lba, 1, std::span<const std::uint8_t>{e.data->data(), kBlockSize},
                mode);
   e.dirty = false;

@@ -1,14 +1,15 @@
 #include "block/disk.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstring>
+
+#include "core/check.h"
 
 namespace netstore::block {
 
 void Disk::read_data(Lba lba, MutBlockView out) const {
-  assert(lba < config_.block_count);
+  NETSTORE_CHECK_LT(lba, config_.block_count);
   const auto it = store_.find(lba);
   if (it == store_.end()) {
     std::fill(out.begin(), out.end(), std::uint8_t{0});
@@ -18,7 +19,7 @@ void Disk::read_data(Lba lba, MutBlockView out) const {
 }
 
 void Disk::write_data(Lba lba, BlockView data) {
-  assert(lba < config_.block_count);
+  NETSTORE_CHECK_LT(lba, config_.block_count);
   auto& slot = store_[lba];
   if (!slot) slot = std::make_unique<BlockBuf>();
   std::memcpy(slot->data(), data.data(), kBlockSize);
@@ -43,7 +44,7 @@ sim::Duration Disk::seek_time(Lba from, Lba to) const {
 
 sim::Time Disk::submit(sim::Time start, Lba lba, std::uint32_t nblocks,
                        bool is_write) {
-  assert(nblocks > 0);
+  NETSTORE_CHECK_GT(nblocks, 0u);
   requests_.add(1);
   sim::Time& busy_until = is_write ? write_busy_until_ : read_busy_until_;
   Lba& next_sequential = is_write ? next_sequential_write_ : next_sequential_read_;

@@ -1,8 +1,9 @@
 #include "block/raid5.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
+
+#include "core/check.h"
 
 namespace netstore::block {
 
@@ -13,7 +14,7 @@ void xor_into(MutBlockView acc, BlockView other) {
 }  // namespace
 
 Raid5Array::Raid5Array(Raid5Config config) : config_(config) {
-  assert(config_.num_disks >= 3);
+  NETSTORE_CHECK_GE(config_.num_disks, 3u, "RAID-5 needs 2 data + 1 parity");
   disks_.reserve(config_.num_disks);
   for (std::uint32_t i = 0; i < config_.num_disks; ++i) {
     disks_.push_back(std::make_unique<Disk>(config_.disk));
@@ -81,8 +82,8 @@ void Raid5Array::reconstruct_block(const Mapping& m, MutBlockView out) const {
 
 sim::Time Raid5Array::read(sim::Time start, Lba lba, std::uint32_t nblocks,
                            std::span<std::uint8_t> out) {
-  assert(out.size() >= static_cast<std::size_t>(nblocks) * kBlockSize);
-  assert(lba + nblocks <= logical_blocks_);
+  NETSTORE_CHECK_GE(out.size(), static_cast<std::size_t>(nblocks) * kBlockSize);
+  NETSTORE_CHECK_LE(lba + nblocks, logical_blocks_);
   sim::Time done = start;
   for (std::uint32_t i = 0; i < nblocks; ++i) {
     const Mapping m = map(lba + i);
@@ -111,8 +112,8 @@ sim::Time Raid5Array::read(sim::Time start, Lba lba, std::uint32_t nblocks,
 
 sim::Time Raid5Array::write(sim::Time start, Lba lba, std::uint32_t nblocks,
                             std::span<const std::uint8_t> data) {
-  assert(data.size() >= static_cast<std::size_t>(nblocks) * kBlockSize);
-  assert(lba + nblocks <= logical_blocks_);
+  NETSTORE_CHECK_GE(data.size(), static_cast<std::size_t>(nblocks) * kBlockSize);
+  NETSTORE_CHECK_LE(lba + nblocks, logical_blocks_);
   const std::uint64_t data_disks = config_.num_disks - 1;
   const std::uint64_t stripe_logical = config_.stripe_unit_blocks * data_disks;
 
@@ -226,18 +227,58 @@ sim::Time Raid5Array::write(sim::Time start, Lba lba, std::uint32_t nblocks,
     }
     ++i;
   }
+  if (audit_ && failed_disk_ < 0) {
+    // Spot-check: every stripe this write touched must leave parity
+    // consistent (XOR across all members zero), whether it went through
+    // the full-stripe fast path or read-modify-write.
+    const std::uint64_t first = lba / stripe_logical;
+    const std::uint64_t last = (lba + nblocks - 1) / stripe_logical;
+    for (std::uint64_t s = first; s <= last; ++s) {
+      NETSTORE_CHECK(stripe_parity_clean(s),
+                     "RAID-5 write left inconsistent parity");
+    }
+  }
   return done;
 }
 
+bool Raid5Array::stripe_parity_clean(std::uint64_t stripe) const {
+  BlockBuf acc;
+  BlockBuf tmp;
+  for (std::uint64_t off = 0; off < config_.stripe_unit_blocks; ++off) {
+    const Lba plba = stripe * config_.stripe_unit_blocks + off;
+    acc.fill(0);
+    for (std::uint32_t d = 0; d < config_.num_disks; ++d) {
+      disks_[d]->read_data(plba, tmp);
+      xor_into(acc, tmp);
+    }
+    for (std::uint32_t b = 0; b < kBlockSize; ++b) {
+      if (acc[b] != 0) return false;
+    }
+  }
+  return true;
+}
+
+bool Raid5Array::verify_parity(Lba max_logical_lba) const {
+  if (failed_disk_ >= 0) return true;
+  const std::uint64_t data_disks = config_.num_disks - 1;
+  const std::uint64_t stripe_logical = config_.stripe_unit_blocks * data_disks;
+  const std::uint64_t stripes =
+      (max_logical_lba + stripe_logical - 1) / stripe_logical;
+  for (std::uint64_t s = 0; s < stripes; ++s) {
+    if (!stripe_parity_clean(s)) return false;
+  }
+  return true;
+}
+
 void Raid5Array::fail_disk(std::uint32_t index) {
-  assert(index < config_.num_disks);
-  assert(failed_disk_ < 0 && "RAID-5 tolerates a single failure");
+  NETSTORE_CHECK_LT(index, config_.num_disks);
+  NETSTORE_CHECK_LT(failed_disk_, 0, "RAID-5 tolerates a single failure");
   failed_disk_ = static_cast<int>(index);
   disks_[index]->clear_data();
 }
 
 void Raid5Array::rebuild_disk(std::uint32_t index, Lba max_logical_lba) {
-  assert(failed_disk_ == static_cast<int>(index));
+  NETSTORE_CHECK_EQ(failed_disk_, static_cast<int>(index));
   const std::uint64_t data_disks = config_.num_disks - 1;
   const std::uint64_t stripe_logical = config_.stripe_unit_blocks * data_disks;
   const std::uint64_t stripes =

@@ -62,6 +62,16 @@ class Raid5Array {
   [[nodiscard]] const Raid5Config& config() const { return config_; }
   [[nodiscard]] Disk& disk(std::uint32_t index) { return *disks_[index]; }
 
+  /// Enables runtime invariant audits: every write spot-checks parity
+  /// consistency of the stripes it touched (XOR across all members must be
+  /// zero).  Off by default — it re-reads whole stripes per write.
+  void set_audit(bool on) { audit_ = on; }
+
+  /// Scans the stripes backing logical blocks [0, max_logical_lba) and
+  /// verifies parity (XOR of every member's block is zero).  Always
+  /// returns true in degraded mode, where parity is provisional.
+  [[nodiscard]] bool verify_parity(Lba max_logical_lba) const;
+
  private:
   struct Mapping {
     std::uint32_t data_disk;
@@ -78,6 +88,8 @@ class Raid5Array {
   sim::Time controller(sim::Time start, bool is_write);
   void reconstruct_block(const Mapping& m, MutBlockView out) const;
   void read_block_data(const Mapping& m, MutBlockView out) const;
+  /// XOR across all members is zero for every unit of `stripe`.
+  [[nodiscard]] bool stripe_parity_clean(std::uint64_t stripe) const;
 
   Raid5Config config_;
   std::uint64_t logical_blocks_;
@@ -85,6 +97,7 @@ class Raid5Array {
   sim::Time ctrl_read_busy_ = 0;
   sim::Time ctrl_write_busy_ = 0;
   int failed_disk_ = -1;
+  bool audit_ = false;
 };
 
 }  // namespace netstore::block

@@ -1,7 +1,7 @@
 #include "block/timed_cache.h"
 
 #include <algorithm>
-#include <cassert>
+#include "core/check.h"
 #include <cstring>
 #include <vector>
 
@@ -12,7 +12,7 @@ TimedCache::TimedCache(Raid5Array& array, std::uint64_t capacity_blocks,
     : array_(array),
       capacity_(capacity_blocks),
       dirty_high_water_(dirty_high_water) {
-  assert(capacity_ > 0);
+  NETSTORE_CHECK_GT(capacity_, 0u);
 }
 
 void TimedCache::insert(sim::Time start, Lba lba, BlockView data, bool dirty) {

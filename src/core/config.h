@@ -79,6 +79,12 @@ struct TestbedConfig {
 
   // vmstat sampling period for CPU utilization (paper: every 2 s).
   sim::Duration cpu_sample_period = sim::seconds(2);
+
+  // Runtime invariant audits across the whole stack: event-queue dispatch
+  // order (sim::Env), RAID-5 parity spot-checks after every write, and
+  // journal commit-ordering.  Off by default — audits re-read stripes and
+  // add per-event checks; tests turn them on.
+  bool invariant_audits = false;
 };
 
 }  // namespace netstore::core

@@ -1,7 +1,8 @@
 #include "core/testbed.h"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "core/check.h"
 
 namespace netstore::core {
 
@@ -28,12 +29,14 @@ Testbed::Testbed(Protocol protocol, TestbedConfig config)
       config_(config),
       server_cpu_(config.cpu_sample_period),
       client_cpu_(config.cpu_sample_period) {
+  env_.set_audit(config_.invariant_audits);
   link_ = std::make_unique<net::Link>(env_, config_.link);
   // Size the array to hold the requested volume.
   config_.raid.disk.block_count =
       config_.volume_blocks / (config_.raid.num_disks - 1) +
       config_.raid.stripe_unit_blocks;
   raid_ = std::make_unique<block::Raid5Array>(config_.raid);
+  raid_->set_audit(config_.invariant_audits);
 
   if (protocol_ == Protocol::kIscsi) {
     build_iscsi();
@@ -42,7 +45,14 @@ Testbed::Testbed(Protocol protocol, TestbedConfig config)
   }
 }
 
-Testbed::~Testbed() = default;
+Testbed::~Testbed() {
+  if (config_.invariant_audits) {
+    // Audited teardown: fire every deferred daemon event, then verify the
+    // queue actually quiesced.
+    env_.drain();
+    env_.check_quiesced();
+  }
+}
 
 fs::Ext3Params Testbed::client_fs_params(const TestbedConfig& c) {
   fs::Ext3Params p;
@@ -52,6 +62,7 @@ fs::Ext3Params Testbed::client_fs_params(const TestbedConfig& c) {
   p.commit_interval = c.commit_interval;
   p.readahead_max = c.fs_readahead_max;
   if (p.readahead_max == 0) p.readahead_min = 0;
+  p.invariant_audits = c.invariant_audits;
   return p;
 }
 
@@ -144,6 +155,7 @@ void Testbed::build_nfs() {
   p.page_cache.capacity_pages = config_.server_cache_pages;
   p.page_cache.dirty_high_water = config_.server_cache_pages / 4;
   p.commit_interval = config_.commit_interval;
+  p.invariant_audits = config_.invariant_audits;
   server_fs_ = std::make_unique<fs::Ext3Fs>(env_, *server_disk_, p);
   server_fs_->mount();
 
@@ -239,27 +251,27 @@ void Testbed::crash_client() {
 }
 
 fs::Ext3Fs& Testbed::client_fs() {
-  assert(client_fs_);
+  NETSTORE_CHECK(client_fs_, "no local fs on an NFS testbed");
   return *client_fs_;
 }
 
 fs::Ext3Fs& Testbed::server_fs() {
-  assert(server_fs_);
+  NETSTORE_CHECK(server_fs_, "no server fs on an iSCSI testbed");
   return *server_fs_;
 }
 
 nfs::NfsClient& Testbed::nfs_client() {
-  assert(nfs_client_);
+  NETSTORE_CHECK(nfs_client_, "no NFS client on an iSCSI testbed");
   return *nfs_client_;
 }
 
 iscsi::Initiator& Testbed::initiator() {
-  assert(initiator_);
+  NETSTORE_CHECK(initiator_, "no initiator on an NFS testbed");
   return *initiator_;
 }
 
 iscsi::Target& Testbed::target() {
-  assert(target_);
+  NETSTORE_CHECK(target_, "no target on an NFS testbed");
   return *target_;
 }
 

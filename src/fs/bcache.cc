@@ -1,12 +1,12 @@
 #include "fs/bcache.h"
 
-#include <cassert>
+#include "core/check.h"
 
 namespace netstore::fs {
 
 Bcache::Bcache(block::BlockDevice& dev, std::uint64_t capacity_blocks)
     : dev_(dev), capacity_(capacity_blocks) {
-  assert(capacity_ > 0);
+  NETSTORE_CHECK_GT(capacity_, 0u);
 }
 
 Bcache::Entry& Bcache::insert(block::Lba lba, bool read_from_device) {
@@ -74,7 +74,7 @@ block::BlockBuf& Bcache::get_new(block::Lba lba) {
 
 void Bcache::mark_dirty(block::Lba lba) {
   auto it = map_.find(lba);
-  assert(it != map_.end() && "mark_dirty of a block not in cache");
+  NETSTORE_CHECK(it != map_.end(), "mark_dirty of a block not in cache");
   if (!it->second->dirty) {
     it->second->dirty = true;
     dirty_count_++;
@@ -105,7 +105,7 @@ void Bcache::note_checkpointed(block::Lba lba) {
 }
 
 void Bcache::drop_clean_all() {
-  assert(dirty_count_ == 0 && "dropping cache with dirty blocks");
+  NETSTORE_CHECK_EQ(dirty_count_, 0u, "dropping cache with dirty blocks");
   lru_.clear();
   map_.clear();
 }

@@ -1,7 +1,7 @@
 #include "fs/ext3.h"
 
 #include <algorithm>
-#include <cassert>
+#include "core/check.h"
 #include <cstring>
 #include <stdexcept>
 
@@ -146,7 +146,7 @@ void Ext3Fs::mkfs(block::BlockDevice& dev, const MkfsOptions& opts) {
 }
 
 void Ext3Fs::mount() {
-  assert(!mounted_);
+  NETSTORE_CHECK(!mounted_, "double mount");
   bcache_ = std::make_unique<Bcache>(dev_, params_.bcache_capacity_blocks);
 
   // Superblock.
@@ -182,12 +182,13 @@ void Ext3Fs::mount() {
 
   journal_ = std::make_unique<Journal>(env_, dev_, *bcache_, sb_,
                                        params_.commit_interval);
+  journal_->set_audit(params_.invariant_audits);
   pages_ = std::make_unique<PageCache>(env_, dev_, params_.page_cache);
   mounted_ = true;
 }
 
 void Ext3Fs::unmount() {
-  assert(mounted_);
+  NETSTORE_CHECK(mounted_, "unmount of an unmounted fs");
   pages_->clear();
   journal_->sync();
   journal_->stop();
@@ -231,13 +232,13 @@ std::uint64_t Ext3Fs::free_inodes() const {
 // ---------------------------------------------------------------------------
 
 Ext3Fs::InodeLoc Ext3Fs::locate(Ino ino) const {
-  assert(ino != kInvalidIno);
+  NETSTORE_CHECK_NE(ino, kInvalidIno);
   const std::uint64_t zero_based = ino - 1;
   const auto group =
       static_cast<std::uint32_t>(zero_based / sb_.inodes_per_group);
   const auto index =
       static_cast<std::uint32_t>(zero_based % sb_.inodes_per_group);
-  assert(group < sb_.group_count);
+  NETSTORE_CHECK_LT(group, sb_.group_count);
   return InodeLoc{
       .group = group,
       .table_block = groups_[group].inode_table + index / kInodesPerBlock,
@@ -1114,7 +1115,7 @@ Result<std::uint32_t> Ext3Fs::read(Ino ino, std::uint64_t off,
         }
       }
       page = pages_->find(ino, index);
-      assert(page);
+      NETSTORE_CHECK(page, "page vanished during read");
     }
     std::memcpy(out.data() + done, page->data() + page_off, len);
     done += len;

@@ -42,6 +42,9 @@ struct Ext3Params {
   // pipeline was shallow — about 8 outstanding pages).
   std::uint32_t readahead_min = 4;
   std::uint32_t readahead_max = 8;
+  // Runtime invariant audits (journal commit ordering); survives remounts
+  // because the journal inherits it on every mount.
+  bool invariant_audits = false;
 };
 
 struct MkfsOptions {

@@ -1,10 +1,11 @@
 #include "fs/journal.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "core/check.h"
 
 namespace netstore::fs {
 
@@ -89,7 +90,7 @@ void Journal::commit(bool wait) {
       JournalRevoke::kMaxTags);
   const std::uint32_t needed = ndesc + count + nrevoke + 1;
   if (needed > journal_free_blocks()) checkpoint_all();
-  assert(needed <= journal_free_blocks() && "journal too small");
+  NETSTORE_CHECK_LE(needed, journal_free_blocks(), "journal too small");
 
   // Serialize descriptor(s) + logged block images into one contiguous
   // buffer; on the wire this is a small number of large sequential
@@ -136,6 +137,18 @@ void Journal::commit(bool wait) {
       block::MutBlockView{commit_buf.data(), kBlockSize});
   write_journal_blocks(commit_buf);
 
+  if (audit_) {
+    // Commit-ordering invariants: sequences leave this journal strictly
+    // increasing (replay depends on it to find the chain head), and the
+    // live region — including the records just appended — still fits.
+    NETSTORE_CHECK_GT(next_sequence_, last_commit_sequence_,
+                      "journal commit sequence regressed");
+    NETSTORE_CHECK_GE(next_sequence_, sb_.journal_sequence,
+                      "committed behind the checkpointed sequence");
+    NETSTORE_CHECK_LE(live_blocks_, sb_.journal_blocks,
+                      "live journal region overflowed the journal");
+    last_commit_sequence_ = next_sequence_;
+  }
   next_sequence_++;
   stats_.commits.add(1);
 
@@ -152,7 +165,8 @@ void Journal::commit(bool wait) {
 }
 
 void Journal::write_journal_blocks(const std::vector<std::uint8_t>& data) {
-  assert(data.size() % kBlockSize == 0);
+  NETSTORE_CHECK_EQ(data.size() % kBlockSize, 0u,
+                    "journal writes are whole blocks");
   auto nblocks = static_cast<std::uint32_t>(data.size() / kBlockSize);
   std::uint32_t written = 0;
   while (written < nblocks) {
@@ -307,7 +321,13 @@ std::uint64_t Journal::replay(block::BlockDevice& dev, SuperBlock& sb) {
   // Apply in order, honoring revocations.  Later copies of the same block
   // overwrite earlier ones naturally.
   bool wrote = false;
+  std::uint64_t prev_sequence = 0;
   for (const Apply& a : applies) {
+    // Replay must apply transactions in commit order, or a block logged in
+    // two transactions could resurrect its older image.
+    NETSTORE_DCHECK_GE(a.sequence, prev_sequence,
+                       "journal replay applied transactions out of order");
+    prev_sequence = a.sequence;
     auto it = revoked.find(a.lba);
     if (it != revoked.end() && a.sequence <= it->second) continue;
     dev.write(a.lba, 1, a.data, block::WriteMode::kAsync);

@@ -74,6 +74,11 @@ class Journal {
   /// Stops scheduling further timed commits (unmount).
   void stop() { stopped_ = true; }
 
+  /// Enables runtime invariant audits: every commit verifies sequence
+  /// monotonicity and that the live journal region never outgrows the
+  /// on-disk journal.  Off by default; testbeds enable it stack-wide.
+  void set_audit(bool on) { audit_ = on; }
+
  private:
   /// Writes every checkpoint-pending block in place (coalesced into
   /// sequential runs) and resets the journal tail.
@@ -101,6 +106,8 @@ class Journal {
   std::uint32_t live_blocks_ = 0;    // journal blocks between tail and head
   bool commit_scheduled_ = false;
   bool stopped_ = false;
+  bool audit_ = false;
+  std::uint64_t last_commit_sequence_ = 0;  // audit: last sequence committed
   JournalStats stats_;
 };
 

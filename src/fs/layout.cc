@@ -1,6 +1,6 @@
 #include "fs/layout.h"
 
-#include <cassert>
+#include "core/check.h"
 
 namespace netstore::fs {
 
@@ -128,7 +128,7 @@ RawInode RawInode::decode(const std::uint8_t* in) {
 
 void JournalDescriptor::encode(block::MutBlockView out,
                                const std::uint64_t* lbas) const {
-  assert(count <= kMaxTags);
+  NETSTORE_CHECK_LE(count, kMaxTags);
   std::fill(out.begin(), out.end(), std::uint8_t{0});
   put_u32(out.data(), kJournalDescriptorMagic);
   put_u64(out.data() + 4, sequence);
@@ -152,7 +152,7 @@ bool JournalDescriptor::decode(block::BlockView in, JournalDescriptor& out,
 
 void JournalRevoke::encode(block::MutBlockView out,
                            const std::uint64_t* lbas) const {
-  assert(count <= kMaxTags);
+  NETSTORE_CHECK_LE(count, kMaxTags);
   std::fill(out.begin(), out.end(), std::uint8_t{0});
   put_u32(out.data(), kJournalRevokeMagic);
   put_u64(out.data() + 4, sequence);

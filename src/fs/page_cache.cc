@@ -1,7 +1,7 @@
 #include "fs/page_cache.h"
 
 #include <algorithm>
-#include <cassert>
+#include "core/check.h"
 #include <cstring>
 #include <vector>
 
@@ -40,7 +40,7 @@ void PageCache::evict_if_needed() {
     bool evicted = false;
     for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
       auto pit = pages_.find(*it);
-      assert(pit != pages_.end());
+      NETSTORE_CHECK(pit != pages_.end());
       if (!pit->second.dirty) {
         lru_.erase(std::next(it).base());
         pages_.erase(pit);
@@ -105,6 +105,7 @@ void PageCache::writeback(
   // Collect dirty pages, sort by LBA, coalesce contiguous runs into large
   // device writes (this is where iSCSI's big write requests come from).
   std::vector<std::pair<block::Lba, Page*>> victims;
+  // netstore-lint: allow(unordered-iter) -- victims are sorted by LBA below
   for (auto& [key, page] : pages_) {
     if (page.dirty && (!pred || pred(key, page))) {
       victims.emplace_back(page.lba, &page);
@@ -151,6 +152,7 @@ void PageCache::schedule_flusher() {
 }
 
 void PageCache::drop_inode(Ino ino, std::uint64_t from_index) {
+  // netstore-lint: allow(unordered-iter) -- pure erase, no I/O or stats
   for (auto it = pages_.begin(); it != pages_.end();) {
     if (it->first.ino == ino && it->first.index >= from_index) {
       if (it->second.dirty) dirty_count_--;

@@ -1,9 +1,9 @@
 #include "iscsi/initiator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
+#include "core/check.h"
 #include "iscsi/pdu.h"
 
 namespace netstore::iscsi {
@@ -16,7 +16,7 @@ Initiator::Initiator(sim::Env& env, net::Link& link, Target& target,
     : env_(env), link_(link), target_(target), params_(params) {}
 
 void Initiator::login() {
-  assert(state_ != SessionState::kLoggedIn);
+  NETSTORE_CHECK_NE(state_, SessionState::kLoggedIn, "double login");
   const sim::Time req = link_.send(
       Direction::kClientToServer, pdu_size(params_.login_negotiation_bytes));
   const sim::Time resp = link_.send_at(
@@ -28,7 +28,7 @@ void Initiator::login() {
 }
 
 void Initiator::logout() {
-  assert(state_ == SessionState::kLoggedIn);
+  NETSTORE_CHECK_EQ(state_, SessionState::kLoggedIn, "session not logged in");
   flush();
   const sim::Time req =
       link_.send(Direction::kClientToServer, pdu_size(0));
@@ -41,7 +41,7 @@ void Initiator::logout() {
 
 sim::Time Initiator::issue_read(block::Lba lba, std::uint32_t nblocks,
                                 std::span<std::uint8_t> out) {
-  assert(state_ == SessionState::kLoggedIn);
+  NETSTORE_CHECK_EQ(state_, SessionState::kLoggedIn, "session not logged in");
   exchanges_.add(1);
   sim::Time t = env_.now();
   if (cost_hook_) t += cost_hook_(t, /*is_write=*/false, nblocks);
@@ -82,7 +82,7 @@ sim::Time Initiator::issue_read(block::Lba lba, std::uint32_t nblocks,
 
 sim::Time Initiator::issue_write(block::Lba lba, std::uint32_t nblocks,
                                  std::span<const std::uint8_t> data) {
-  assert(state_ == SessionState::kLoggedIn);
+  NETSTORE_CHECK_EQ(state_, SessionState::kLoggedIn, "session not logged in");
   exchanges_.add(1);
   write_commands_.add(1);
   write_bytes_.add(static_cast<std::uint64_t>(nblocks) * kBlockSize);
@@ -152,8 +152,8 @@ void Initiator::read(block::Lba lba, std::uint32_t nblocks,
 std::optional<sim::Time> Initiator::prefetch(block::Lba lba,
                                              std::uint32_t nblocks,
                                              std::span<std::uint8_t> out) {
-  assert(static_cast<std::uint64_t>(nblocks) * kBlockSize <=
-         params_.max_burst_length);
+  NETSTORE_CHECK_LE(static_cast<std::uint64_t>(nblocks) * kBlockSize,
+                    params_.max_burst_length);
   return issue_read(lba, nblocks, out);
 }
 

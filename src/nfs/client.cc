@@ -1,7 +1,8 @@
 #include "nfs/client.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "core/check.h"
 
 namespace netstore::nfs {
 
@@ -163,7 +164,7 @@ fs::Result<Fh> NfsClient::step(Fh dir, const std::string& name,
 
 fs::Result<Fh> NfsClient::walk(const std::string& path,
                                bool* final_was_cached) {
-  assert(mounted_);
+  NETSTORE_CHECK(mounted_, "NFS client not mounted");
   const std::vector<std::string> parts = split_path(path);
   Fh cur = root_;
   if (final_was_cached) *final_was_cached = true;  // "/" itself is cached
@@ -200,7 +201,7 @@ fs::Result<Fh> NfsClient::walk_parent(const std::string& path,
 // ---------------------------------------------------------------------------
 
 void NfsClient::mount() {
-  assert(!mounted_);
+  NETSTORE_CHECK(!mounted_, "double mount");
   mounted_ = true;
   // MOUNT (v2/v3) or PUTROOTFH+GETATTR compound (v4): one exchange that
   // yields the root handle and its attributes.
@@ -212,7 +213,7 @@ void NfsClient::mount() {
 }
 
 void NfsClient::unmount() {
-  assert(mounted_);
+  NETSTORE_CHECK(mounted_, "NFS client not mounted");
   flush_delegated_updates();
   drain_writes();
   invalidate_caches();
@@ -415,6 +416,7 @@ fs::Status NfsClient::rmdir(const std::string& path) {
     // Emptiness is only decidable locally for a directory we created and
     // never shipped; check for cached or queued children.
     bool has_children = false;
+    // netstore-lint: allow(unordered-iter) -- order-free existence scan
     for (const auto& [key, dentry] : dentries_) {
       if (key.dir == *dv) {
         has_children = true;

@@ -1,9 +1,9 @@
 // NfsClient data path: open/creat/close, read with read-ahead, the bounded
 // asynchronous write pool, and close-to-open consistency.
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
+#include "core/check.h"
 #include "nfs/client.h"
 
 namespace netstore::nfs {
@@ -41,6 +41,7 @@ void NfsClient::insert_page(Fh fh, std::uint64_t index,
 }
 
 void NfsClient::drop_pages(Fh fh) {
+  // netstore-lint: allow(unordered-iter) -- pure erase, no I/O or stats
   for (auto it = pages_.begin(); it != pages_.end();) {
     if (it->first.fh == fh) {
       page_lru_.erase(it->second.lru_pos);
@@ -370,7 +371,7 @@ fs::Result<std::uint32_t> NfsClient::read(Fh fh, std::uint64_t off,
         return s.error();
       }
       page = find_page(fh, index);
-      assert(page);
+      NETSTORE_CHECK(page, "page vanished after fetch_range");
     }
     std::memcpy(out.data() + done, page->data->data() + page_off, len);
     done += len;

@@ -12,10 +12,10 @@
 // file) first materializes it by flushing the queue prefix that creates
 // it.
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <vector>
 
+#include "core/check.h"
 #include "nfs/client.h"
 
 namespace netstore::nfs {
@@ -104,7 +104,7 @@ void NfsClient::queue_update(PendingUpdate u) {
       break;
     }
     default:
-      assert(false && "not a delegated update");
+      NETSTORE_CHECK(false, "not a delegated update");
   }
 
   deleg_queue_.push_back(std::move(u));
@@ -194,10 +194,12 @@ void NfsClient::flush_delegated_updates() {
 
   // Re-point caches from provisional to real handles (both the dentry
   // values and the directory-fh halves of the keys).
+  // netstore-lint: allow(unordered-iter) -- independent value rewrites
   for (auto& [key, dentry] : dentries_) {
     if (is_provisional(dentry.fh)) dentry.fh = to_real(dentry.fh);
   }
   std::vector<std::pair<DentryKey, Dentry>> rekeyed;
+  // netstore-lint: allow(unordered-iter) -- key rewrite, map-to-map only
   for (auto it = dentries_.begin(); it != dentries_.end();) {
     if (is_provisional(it->first.dir) &&
         provisional_to_real_.contains(it->first.dir)) {
@@ -210,6 +212,7 @@ void NfsClient::flush_delegated_updates() {
   }
   for (auto& [key, dentry] : rekeyed) dentries_[key] = dentry;
   std::vector<std::pair<Fh, CachedAttr>> moved;
+  // netstore-lint: allow(unordered-iter) -- key rewrite, map-to-map only
   for (auto it = attrs_.begin(); it != attrs_.end();) {
     if (is_provisional(it->first) &&
         provisional_to_real_.contains(it->first)) {
@@ -225,6 +228,7 @@ void NfsClient::flush_delegated_updates() {
 void NfsClient::ship_local_data(Fh provisional, Fh real) {
   // Collect the provisional file's pages in index order.
   std::vector<std::pair<std::uint64_t, Page*>> file_pages;
+  // netstore-lint: allow(unordered-iter) -- sorted by page index below
   for (auto& [key, page] : pages_) {
     if (key.fh == provisional) file_pages.emplace_back(key.index, &page);
   }

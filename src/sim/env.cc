@@ -2,10 +2,33 @@
 
 #include <utility>
 
+#include "core/check.h"
+
 namespace netstore::sim {
 
 void Env::schedule_at(Time at, std::function<void()> fn) {
   queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Env::audit_pop(const Event& ev, Time target) {
+  NETSTORE_CHECK_LE(ev.at, target, "event fired past the sweep target");
+  // Between two pops with no intervening schedule_at (the sequence counter
+  // is unchanged), the queue must yield events in strict (deadline, seq)
+  // order.  A violation means the heap or its comparator is corrupt —
+  // exactly the class of bug that silently reorders daemon work and breaks
+  // run-to-run determinism.
+  if (audit_has_last_pop_ && next_seq_ == audit_seq_snapshot_) {
+    NETSTORE_CHECK_GE(ev.at, audit_last_pop_at_,
+                      "event queue yielded deadlines out of order");
+    if (ev.at == audit_last_pop_at_) {
+      NETSTORE_CHECK_GT(ev.seq, audit_last_pop_seq_,
+                        "same-deadline FIFO order violated");
+    }
+  }
+  audit_has_last_pop_ = true;
+  audit_last_pop_at_ = ev.at;
+  audit_last_pop_seq_ = ev.seq;
+  audit_seq_snapshot_ = next_seq_;
 }
 
 void Env::advance_to(Time t) {
@@ -14,19 +37,28 @@ void Env::advance_to(Time t) {
     // Copy out before pop: the callback may schedule new events.
     Event ev = queue_.top();
     queue_.pop();
+    if (audit_) audit_pop(ev, t);
     if (ev.at > now_) now_ = ev.at;
     ev.fn();
   }
-  now_ = t;
+  // A callback may re-entrantly advance the clock past `t` (e.g. a flusher
+  // blocking on a device); never move it backwards.
+  if (t > now_) now_ = t;
 }
 
 void Env::drain() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
+    if (audit_) audit_pop(ev, ev.at > now_ ? ev.at : now_);
     if (ev.at > now_) now_ = ev.at;
     ev.fn();
   }
+}
+
+void Env::check_quiesced() const {
+  NETSTORE_CHECK_EQ(queue_.size(), std::size_t{0},
+                    "events still pending at teardown");
 }
 
 }  // namespace netstore::sim

@@ -55,6 +55,18 @@ class Env {
   /// Number of events not yet fired.
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Enables runtime invariant audits (debug tooling, off by default):
+  /// every event dispatch verifies that the clock never moves backwards
+  /// and that no event fires past the sweep target.  Testbeds turn this
+  /// on for the whole stack via TestbedConfig::invariant_audits.
+  void set_audit(bool on) { audit_ = on; }
+  [[nodiscard]] bool audit() const { return audit_; }
+
+  /// Teardown invariant: every registered daemon event has fired.  Call
+  /// after drain() when quiescence is expected; aborts via NETSTORE_CHECK
+  /// if events are still pending.
+  void check_quiesced() const;
+
  private:
   struct Event {
     Time at;
@@ -68,7 +80,15 @@ class Env {
     }
   };
 
+  /// Audit-mode dispatch bookkeeping (see set_audit).
+  void audit_pop(const Event& ev, Time target);
+
   Time now_ = 0;
+  bool audit_ = false;
+  bool audit_has_last_pop_ = false;
+  Time audit_last_pop_at_ = 0;
+  std::uint64_t audit_last_pop_seq_ = 0;
+  std::uint64_t audit_seq_snapshot_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };

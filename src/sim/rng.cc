@@ -1,7 +1,8 @@
 #include "sim/rng.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/check.h"
 
 namespace netstore::sim {
 
@@ -17,7 +18,7 @@ double zeta(std::uint64_t n, double theta) {
 
 ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
     : n_(n), theta_(theta) {
-  assert(n > 0);
+  NETSTORE_CHECK_GT(n, 0u);
   zetan_ = zeta(n, theta);
   zeta2_ = zeta(2, theta);
   alpha_ = 1.0 / (1.0 - theta);
@@ -26,6 +27,9 @@ ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
 }
 
 std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  // Theta is a configured constant, never computed, so the exact-zero
+  // fast path is well-defined.
+  // netstore-lint: allow(float-eq)
   if (theta_ == 0.0) return rng.uniform(n_);
   const double u = rng.uniform01();
   const double uz = u * zetan_;

@@ -1,8 +1,9 @@
 #include "sim/stats.h"
 
-#include <cassert>
 #include <cmath>
 #include <numeric>
+
+#include "core/check.h"
 
 namespace netstore::sim {
 
@@ -34,7 +35,8 @@ double Sampler::percentile(double p) const {
 }
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
-  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  NETSTORE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must ascend");
   counts_.assign(bounds_.size() + 1, 0);
 }
 

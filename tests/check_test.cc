@@ -1,0 +1,75 @@
+// NETSTORE_CHECK semantics: always-on in every build type (this test
+// builds against the same RelWithDebInfo library the benchmarks use),
+// formatted failure output, and the compiled-out DCHECK tier.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/check.h"
+
+namespace netstore {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilentAndSideEffectFree) {
+  int evaluations = 0;
+  const auto bump = [&] {
+    evaluations++;
+    return 4;
+  };
+  NETSTORE_CHECK(bump() == 4);
+  NETSTORE_CHECK_EQ(bump(), 4);
+  NETSTORE_CHECK_NE(bump(), 5);
+  NETSTORE_CHECK_LT(3, 4);
+  NETSTORE_CHECK_LE(4, 4);
+  NETSTORE_CHECK_GT(5, 4);
+  NETSTORE_CHECK_GE(4, 4);
+  EXPECT_EQ(evaluations, 3);
+}
+
+TEST(CheckTest, OperandsEvaluateExactlyOnce) {
+  int calls = 0;
+  const auto once = [&] { return ++calls; };
+  NETSTORE_CHECK_GE(once(), 1);
+  EXPECT_EQ(calls, 1);
+}
+
+// NDEBUG or not, CHECK aborts: the RelWithDebInfo benchmark binaries run
+// with invariant enforcement on.  (gtest death tests observe the abort
+// and the stderr message from a forked child.)
+TEST(CheckDeathTest, CheckFiresInThisBuildType) {
+  EXPECT_DEATH(NETSTORE_CHECK(1 + 1 == 3), "CHECK failed");
+}
+
+TEST(CheckDeathTest, MessageIncludesFileLineAndExpression) {
+  EXPECT_DEATH(NETSTORE_CHECK(false, "the sky fell"),
+               "check_test.cc.*false.*the sky fell");
+}
+
+TEST(CheckDeathTest, OpMacrosReportBothOperandValues) {
+  const std::uint64_t lhs = 7;
+  const std::uint64_t rhs = 9;
+  EXPECT_DEATH(NETSTORE_CHECK_EQ(lhs, rhs), "lhs == rhs \\(7 vs 9\\)");
+  EXPECT_DEATH(NETSTORE_CHECK_GT(lhs, rhs, "queue regressed"),
+               "\\(7 vs 9\\).*queue regressed");
+}
+
+enum class Phase : std::uint8_t { kIdle = 3, kBusy = 4 };
+
+TEST(CheckDeathTest, EnumOperandsPrintViaUnderlyingType) {
+  const Phase a = Phase::kIdle;
+  const Phase b = Phase::kBusy;
+  EXPECT_DEATH(NETSTORE_CHECK_EQ(a, b), "\\(3 vs 4\\)");
+}
+
+TEST(CheckTest, DcheckTierMatchesBuildConfiguration) {
+  // tests/CMakeLists.txt compiles every test with -UNDEBUG and
+  // NETSTORE_DCHECK_ON, so the debug tier must be live here.
+  EXPECT_EQ(NETSTORE_DCHECK_ENABLED, 1);
+}
+
+TEST(CheckDeathTest, DcheckFiresWhenEnabled) {
+  EXPECT_DEATH(NETSTORE_DCHECK_LT(2, 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace netstore

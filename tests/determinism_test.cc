@@ -1,0 +1,155 @@
+// Same-seed determinism self-check (acceptance gate for the invariant
+// layer): a full mixed workload over a complete testbed must produce a
+// bit-identical stats digest on every run.  The whole suite runs with
+// invariant_audits on, so event-queue ordering, RAID-5 parity and journal
+// commit-order audits are exercised across every layer along the way.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+#include "sim/rng.h"
+
+namespace netstore {
+namespace {
+
+using core::Protocol;
+using core::Testbed;
+using core::TestbedConfig;
+
+std::uint64_t fnv1a(std::uint64_t h, std::span<const std::uint8_t> data) {
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+TestbedConfig audited_config() {
+  TestbedConfig cfg;
+  cfg.invariant_audits = true;
+  return cfg;
+}
+
+// Runs a mixed meta-data + data workload driven by a seeded Rng and folds
+// every observable statistic into one digest string.  Any source of
+// nondeterminism anywhere in the stack (hash-order iteration, wall-clock
+// reads, uninitialized reads surviving sanitizers) shows up as a digest
+// mismatch between two same-seed runs.
+void run_digest(Protocol proto, std::uint64_t seed, std::string* out) {
+  Testbed bed(proto, audited_config());
+  sim::Rng rng(seed);
+
+  constexpr int kFiles = 24;
+  constexpr std::uint32_t kIoBytes = 16 * 1024;
+
+  ASSERT_TRUE(bed.vfs().mkdir("/work", 0755).ok()) << "mkdir failed";
+  std::uint64_t data_hash = 0xcbf29ce484222325ull;
+
+  std::vector<std::uint8_t> buf(kIoBytes);
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string path = "/work/f" + std::to_string(i);
+    auto fd = bed.vfs().creat(path, 0644);
+    ASSERT_TRUE(fd.ok()) << "creat failed";
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+    const std::uint64_t off = rng.uniform(4) * kIoBytes;
+    ASSERT_TRUE(bed.vfs().write(*fd, off, buf).ok()) << "write failed";
+    if (rng.chance(0.5)) {
+      ASSERT_TRUE(bed.vfs().fsync(*fd).ok()) << "fsync failed";
+    }
+    ASSERT_TRUE(bed.vfs().close(*fd).ok()) << "close failed";
+  }
+
+  // Random renames and deletions keep the directory blocks churning.
+  for (int i = 0; i < kFiles / 3; ++i) {
+    const auto victim = rng.uniform(kFiles);
+    const std::string from = "/work/f" + std::to_string(victim);
+    if (rng.chance(0.5)) {
+      (void)bed.vfs().rename(from, from + "r");
+    } else {
+      (void)bed.vfs().unlink(from);
+    }
+  }
+
+  // Read back the survivors and fold the bytes into the digest.
+  auto listing = bed.vfs().readdir("/work");
+  ASSERT_TRUE(listing.ok()) << "readdir failed";
+  for (const auto& ent : *listing) {
+    if (ent.name == "." || ent.name == "..") continue;
+    auto fd = bed.vfs().open("/work/" + ent.name);
+    ASSERT_TRUE(fd.ok()) << "open failed";
+    std::vector<std::uint8_t> rd(2 * kIoBytes);
+    auto got = bed.vfs().read(*fd, 0, rd);
+    ASSERT_TRUE(got.ok()) << "read failed";
+    data_hash = fnv1a(data_hash, std::span(rd.data(), *got));
+    ASSERT_TRUE(bed.vfs().close(*fd).ok()) << "close failed";
+  }
+
+  // Let deferred activity (journal commits, write-back, delegation
+  // flushes) run so its traffic lands in the counters too.
+  bed.settle();
+
+  std::ostringstream digest;
+  digest << to_string(proto) << " seed=" << seed
+         << " msgs=" << bed.messages() << " raw=" << bed.raw_messages()
+         << " bytes=" << bed.bytes() << " rexmit=" << bed.retransmissions()
+         << " now=" << bed.env().now()
+         << " srv_cpu=" << bed.server_cpu().total_busy()
+         << " cli_cpu=" << bed.client_cpu().total_busy()
+         << " data=" << std::hex << data_hash;
+  *out = digest.str();
+}
+
+std::string digest_of(Protocol proto, std::uint64_t seed) {
+  std::string d;
+  run_digest(proto, seed, &d);
+  return d;
+}
+
+class SameSeedDeterminism : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(SameSeedDeterminism, TwoRunsProduceIdenticalDigests) {
+  const std::string first = digest_of(GetParam(), 0xfeedfaceull);
+  const std::string second = digest_of(GetParam(), 0xfeedfaceull);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("msgs="), std::string::npos);
+}
+
+TEST_P(SameSeedDeterminism, DifferentSeedsPerturbTheWorkload) {
+  // Sanity: the digest actually depends on the seed (i.e. the workload is
+  // not degenerate), so the equality above is a meaningful check.
+  const std::string a = digest_of(GetParam(), 1);
+  const std::string b = digest_of(GetParam(), 2);
+  if (a.empty() || b.empty()) return;  // earlier ASSERT already failed
+  EXPECT_NE(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, SameSeedDeterminism,
+                         ::testing::Values(Protocol::kNfsV3, Protocol::kIscsi),
+                         [](const auto& info) {
+                           return info.param == Protocol::kIscsi ? "Iscsi"
+                                                                 : "NfsV3";
+                         });
+
+TEST(InvariantAudits, RaidParityHoldsAfterAuditedWorkload) {
+  Testbed bed(Protocol::kIscsi, audited_config());
+  std::vector<std::uint8_t> buf(64 * 1024, 0xab);
+  for (int i = 0; i < 8; ++i) {
+    auto fd = bed.vfs().creat("/p" + std::to_string(i), 0644);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(bed.vfs().write(*fd, 0, buf).ok());
+    ASSERT_TRUE(bed.vfs().close(*fd).ok());
+  }
+  bed.settle();
+  // Full sweep over the region the workload touched (the per-write audit
+  // spot-checks stripes as they are written; this is the global version).
+  EXPECT_TRUE(bed.raid().verify_parity(16 * 1024));
+}
+
+}  // namespace
+}  // namespace netstore

@@ -84,6 +84,88 @@ TEST(EnvTest, DrainFiresEverything) {
   EXPECT_EQ(env.now(), seconds(200));
 }
 
+TEST(EnvTest, PastDeadlineFiresAtNextAdvanceWithoutRewindingClock) {
+  // Scheduling "in the past" is legal (daemons computing a deadline from a
+  // stale timestamp); the event fires on the next sweep at the current
+  // time, and the clock never moves backwards.
+  Env env;
+  env.set_audit(true);
+  env.advance(milliseconds(10));
+  Time seen = -1;
+  env.schedule_at(milliseconds(5), [&] { seen = env.now(); });
+  env.advance_to(milliseconds(20));
+  EXPECT_EQ(seen, milliseconds(10));
+  EXPECT_EQ(env.now(), milliseconds(20));
+}
+
+TEST(EnvTest, CallbackSchedulingDueEventRunsInSameSweep) {
+  // An event that schedules another event inside the sweep window must see
+  // it fire during the same advance_to, at its own deadline.
+  Env env;
+  env.set_audit(true);
+  std::vector<Time> fired;
+  env.schedule_at(milliseconds(10), [&] {
+    fired.push_back(env.now());
+    env.schedule_at(milliseconds(15), [&] { fired.push_back(env.now()); });
+    // Due *immediately* (same deadline as the running event): still fires
+    // within this sweep, after already-queued work.
+    env.schedule_at(milliseconds(10), [&] { fired.push_back(env.now()); });
+  });
+  env.advance_to(milliseconds(20));
+  EXPECT_EQ(fired,
+            (std::vector<Time>{milliseconds(10), milliseconds(10),
+                               milliseconds(15)}));
+  EXPECT_EQ(env.pending_events(), 0u);
+}
+
+TEST(EnvTest, ReentrantAdvancePastSweepTargetDoesNotRewindClock) {
+  // A callback may re-entrantly advance the clock beyond the outer sweep's
+  // target (a flusher blocking on a device).  The outer advance_to must not
+  // drag the clock back to its own target afterwards.
+  Env env;
+  env.set_audit(true);
+  env.schedule_at(milliseconds(10),
+                  [&] { env.advance_to(milliseconds(50)); });
+  env.advance_to(milliseconds(20));
+  EXPECT_EQ(env.now(), milliseconds(50));
+}
+
+TEST(EnvTest, ReentrantDrainLeavesOuterDrainConsistent) {
+  Env env;
+  env.set_audit(true);
+  std::vector<int> fired;
+  env.schedule_at(milliseconds(10), [&] {
+    fired.push_back(1);
+    env.drain();  // re-entrant: consumes the second event
+  });
+  env.schedule_at(milliseconds(20), [&] { fired.push_back(2); });
+  env.drain();  // outer drain finds an empty queue after the inner one
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(env.now(), milliseconds(20));
+  env.check_quiesced();
+}
+
+TEST(EnvTest, SameDeadlineFifoHoldsUnderInterleavedScheduling) {
+  // FIFO among equal deadlines must survive callbacks appending more
+  // equal-deadline events mid-sweep, with the dispatch audit enabled.
+  Env env;
+  env.set_audit(true);
+  std::vector<int> fired;
+  env.schedule_at(milliseconds(10), [&] {
+    fired.push_back(0);
+    env.schedule_at(milliseconds(10), [&] { fired.push_back(2); });
+  });
+  env.schedule_at(milliseconds(10), [&] { fired.push_back(1); });
+  env.advance_to(milliseconds(10));
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EnvDeathTest, CheckQuiescedFiresWithPendingEvents) {
+  Env env;
+  env.schedule_at(seconds(1), [] {});
+  EXPECT_DEATH(env.check_quiesced(), "events still pending at teardown");
+}
+
 TEST(RngTest, Deterministic) {
   Rng a(123);
   Rng b(123);

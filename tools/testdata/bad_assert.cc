@@ -1,0 +1,12 @@
+// Fixture: raw assert() compiles out under NDEBUG and must be flagged
+// (rule: raw-assert).
+#include <cassert>
+
+namespace fixture {
+
+void enqueue(int depth) {
+  assert(depth >= 0);
+  (void)depth;
+}
+
+}  // namespace fixture

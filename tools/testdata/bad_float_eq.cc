@@ -1,0 +1,10 @@
+// Fixture: floating-point equality in a service-time model must be flagged
+// (rule: float-eq).
+namespace fixture {
+
+double seek_time(double distance_tracks, double base_ms) {
+  if (distance_tracks == 0.0) return 0.0;  // exact compare on a computed value
+  return base_ms + distance_tracks * 0.001;
+}
+
+}  // namespace fixture

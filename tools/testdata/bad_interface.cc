@@ -1,0 +1,14 @@
+// Fixture: interface without a virtual destructor must be flagged
+// (rule: virtual-dtor).
+#include <cstdint>
+
+namespace fixture {
+
+class Device {
+ public:
+  virtual std::uint64_t block_count() const = 0;
+  virtual void flush() = 0;
+  // no virtual destructor: deleting a derived Device through Device* is UB
+};
+
+}  // namespace fixture

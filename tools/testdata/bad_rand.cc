@@ -1,0 +1,12 @@
+// Fixture: libc randomness must be flagged (rule: rand).
+#include <cstdlib>
+
+namespace fixture {
+
+int pick_block() {
+  return rand() % 64;  // nondeterministic across runs
+}
+
+void reseed() { srand(42); }
+
+}  // namespace fixture

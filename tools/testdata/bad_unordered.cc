@@ -1,0 +1,20 @@
+// Fixture: hash-ordered iteration feeding I/O issue order must be flagged
+// (rule: unordered-iter).
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Flusher {
+  std::unordered_map<std::uint64_t, int> dirty_;
+
+  void writeback() {
+    for (const auto& [lba, gen] : dirty_) {
+      issue(lba, gen);  // issue order = hash order: nondeterministic
+    }
+  }
+
+  void issue(std::uint64_t lba, int gen);
+};
+
+}  // namespace fixture

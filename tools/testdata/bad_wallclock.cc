@@ -1,0 +1,11 @@
+// Fixture: wall-clock time in simulation code must be flagged
+// (rule: wall-clock).
+#include <chrono>
+
+namespace fixture {
+
+long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture
