@@ -38,10 +38,14 @@ double postmark_like_msgs_per_op(core::TestbedConfig cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header("Ablations: the mechanisms behind the paper's results",
                       "design-choice sensitivity (no direct paper table)");
+  obs::Report report("bench_ablation", "design-choice sensitivity");
+  obs::ReportTable& abl = report.table(
+      "ablation", {"knob", "setting", "metric", "value"});
 
   std::printf("\n[1] ext3 journal commit interval vs iSCSI meta-data "
               "messages/op\n    (update aggregation: longer window = more "
@@ -50,7 +54,9 @@ int main() {
   for (int secs : {1, 2, 5, 15, 30}) {
     core::TestbedConfig cfg;
     cfg.commit_interval = sim::seconds(secs);
-    std::printf("%-14d %14.2f\n", secs, postmark_like_msgs_per_op(cfg));
+    const double per_op = postmark_like_msgs_per_op(cfg);
+    std::printf("%-14d %14.2f\n", secs, per_op);
+    abl.row({"commit_interval", secs, "msgs_per_op", per_op});
   }
 
   std::printf("\n[2] NFS async write pool slots vs 32 MB sequential write "
@@ -70,6 +76,10 @@ int main() {
       times[wan] = run_large_write(bed, io).seconds;
     }
     std::printf("%-14u %14.2f %14.2f\n", slots, times[0], times[1]);
+    abl.row({"write_pool_slots", static_cast<std::uint64_t>(slots),
+             "lan_write_s", times[0]});
+    abl.row({"write_pool_slots", static_cast<std::uint64_t>(slots),
+             "wan30ms_write_s", times[1]});
   }
 
   std::printf("\n[3] client read-ahead window vs 32 MB sequential read time "
@@ -83,6 +93,8 @@ int main() {
     io.file_mb = 32;
     const auto r = run_large_read(bed, io);
     std::printf("%-14u %14.2f\n", window, r.seconds);
+    abl.row({"readahead_pages", static_cast<std::uint64_t>(window),
+             "seq_read_s", r.seconds});
   }
 
   std::printf("\n[4] NFS attribute timeout vs warm stat messages\n    "
@@ -113,6 +125,8 @@ int main() {
     }
     std::printf("%-14d %14llu\n", secs,
                 static_cast<unsigned long long>(rpc.stats().calls.value()));
+    abl.row({"attr_timeout_s", secs, "msgs_per_100_stats",
+             rpc.stats().calls.value()});
   }
-  return 0;
+  return bench::finish(opts, report);
 }

@@ -2,10 +2,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/testbed.h"
+#include "obs/report.h"
 
 namespace netstore::bench {
 
@@ -21,6 +23,48 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("%s\n", title);
   std::printf("Reproduces: %s\n", paper_ref);
   std::printf("================================================================\n");
+}
+
+/// Command-line options every bench binary supports.
+struct Options {
+  std::string json_path;  // --json <path>: write an obs::Report as JSON
+  std::string csv_path;   // --csv <path>: same tables as CSV
+};
+
+inline Options parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool is_json = arg == "--json";
+    if (is_json || arg == "--csv") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a path argument\n", arg.c_str());
+        std::exit(2);
+      }
+      (is_json ? opts.json_path : opts.csv_path) = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\nusage: %s [--json <path>] "
+                   "[--csv <path>]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+/// Writes the report to any requested sinks; returns the process exit code.
+inline int finish(const Options& opts, const obs::Report& report) {
+  int rc = 0;
+  if (!opts.json_path.empty() &&
+      !obs::Report::write_file(opts.json_path, report.json())) {
+    rc = 1;
+  }
+  if (!opts.csv_path.empty() &&
+      !obs::Report::write_file(opts.csv_path, report.csv())) {
+    rc = 1;
+  }
+  return rc;
 }
 
 }  // namespace netstore::bench

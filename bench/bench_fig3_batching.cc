@@ -10,11 +10,16 @@
 #include "bench_common.h"
 #include "workloads/microbench.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header(
       "Figure 3: iSCSI meta-data update aggregation (amortized msgs/op)",
       "Radkov et al., FAST'04, Figure 3");
+  obs::Report report("bench_fig3_batching",
+                     "Radkov et al., FAST'04, Figure 3");
+  obs::ReportTable& fig =
+      report.table("fig3", {"batch", "op", "msgs_per_op"});
 
   const std::vector<std::string> ops = {"create", "link",   "rename",
                                         "chmod",  "stat",   "access",
@@ -30,7 +35,9 @@ int main() {
     for (const auto& op : ops) {
       core::Testbed bed(core::Protocol::kIscsi);
       workloads::Microbench mb(bed);
-      std::printf(" %8.3f", mb.batch_op(op, n));
+      const double per_op = mb.batch_op(op, n);
+      std::printf(" %8.3f", per_op);
+      fig.row({static_cast<std::uint64_t>(n), op, per_op});
     }
     std::printf("\n");
   }
@@ -38,5 +45,5 @@ int main() {
       "\nPaper: all curves decay from ~6-7 msgs/op at batch=1 towards ~0-1\n"
       "at batch=1024; read-only ops (stat/access) decay as 1/N once the\n"
       "cache is warm, update ops via journal aggregation.\n");
-  return 0;
+  return bench::finish(opts, report);
 }

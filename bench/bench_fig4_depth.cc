@@ -9,10 +9,15 @@
 #include "bench_common.h"
 #include "workloads/microbench.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header("Figure 4: directory-depth sensitivity",
                       "Radkov et al., FAST'04, Figure 4 (a)-(c)");
+  obs::Report report("bench_fig4_depth",
+                     "Radkov et al., FAST'04, Figure 4");
+  obs::ReportTable& fig = report.table(
+      "fig4", {"op", "depth", "cache", "nfsv3", "nfsv4", "iscsi"});
 
   const std::vector<std::string> ops = {"mkdir", "chdir", "readdir"};
   const std::vector<int> depths = {0, 2, 4, 6, 8, 10, 12, 14, 16};
@@ -47,10 +52,12 @@ int main() {
                   static_cast<unsigned long long>(warm[0]),
                   static_cast<unsigned long long>(warm[1]),
                   static_cast<unsigned long long>(warm[2]), "");
+      fig.row({op, d, "cold", cold[0], cold[1], cold[2]});
+      fig.row({op, d, "warm", warm[0], warm[1], warm[2]});
     }
   }
   std::printf(
       "\nPaper: cold slopes ~1/level (v2/3), ~2/level (v4, iSCSI); warm\n"
       "counts flat in depth for iSCSI and v4, flat/small for v2/3.\n");
-  return 0;
+  return bench::finish(opts, report);
 }

@@ -8,10 +8,15 @@
 #include "bench_common.h"
 #include "workloads/microbench.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header("Figure 5: read/write message overhead vs I/O size",
                       "Radkov et al., FAST'04, Figure 5 (a)-(c)");
+  obs::Report report("bench_fig5_iosize",
+                     "Radkov et al., FAST'04, Figure 5");
+  obs::ReportTable& fig = report.table(
+      "fig5", {"mode", "bytes", "nfsv2", "nfsv3", "nfsv4", "iscsi"});
 
   const std::vector<std::uint32_t> sizes = {128,  256,   512,   1024, 2048,
                                             4096, 8192,  16384, 32768,
@@ -33,14 +38,17 @@ int main() {
     std::printf("---------+------------------------------------\n");
     for (std::uint32_t size : sizes) {
       std::printf("%-8u |", size);
+      std::vector<obs::Cell> row = {m.name,
+                                    static_cast<std::uint64_t>(size)};
       for (core::Protocol p : bench::paper_protocols()) {
         core::Testbed bed(p);
         workloads::Microbench mb(bed);
-        std::printf(" %8llu",
-                    static_cast<unsigned long long>(
-                        mb.io_op(m.write, size, m.warm)));
+        const std::uint64_t msgs = mb.io_op(m.write, size, m.warm);
+        std::printf(" %8llu", static_cast<unsigned long long>(msgs));
+        row.emplace_back(msgs);
       }
       std::printf("\n");
+      fig.row(std::move(row));
     }
   }
   std::printf(
@@ -48,5 +56,5 @@ int main() {
       "8 KB (v2/v3 transfer limit); v4 uses larger transfers.  Warm reads —\n"
       "NFS pays only consistency checks, iSCSI only the atime update.\n"
       "Cold writes — iSCSI flat (journal aggregation), v2 grows past 8 KB.\n");
-  return 0;
+  return bench::finish(opts, report);
 }

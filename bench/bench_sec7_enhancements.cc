@@ -17,10 +17,19 @@
 #include "workloads/postmark.h"
 #include "workloads/traces.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header("Section 7: proposed NFS enhancements",
                       "Radkov et al., FAST'04, §7");
+  obs::Report report("bench_sec7_enhancements",
+                     "Radkov et al., FAST'04, Section 7");
+  obs::ReportTable& sim_t = report.table(
+      "sec7_consistent_cache",
+      {"trace", "cache_dirs", "baseline_messages", "cached_messages",
+       "reduction", "callback_ratio"});
+  obs::ReportTable& live_t = report.table(
+      "sec7_live_postmark", {"protocol", "seconds", "messages"});
 
   // --- Part 1: trace-driven consistent-cache simulation ---
   for (const workloads::TraceProfile& profile :
@@ -39,6 +48,9 @@ int main() {
                   static_cast<unsigned long long>(r.baseline_messages),
                   static_cast<unsigned long long>(r.cached_messages),
                   100.0 * r.reduction(), r.callback_ratio());
+      sim_t.row({profile.name, static_cast<std::uint64_t>(size),
+                 r.baseline_messages, r.cached_messages, r.reduction(),
+                 r.callback_ratio()});
     }
   }
 
@@ -61,9 +73,10 @@ int main() {
     const auto r = run_postmark(bed, cfg);
     std::printf("%-42s | %10.1f | %10llu\n", core::to_string(p), r.seconds,
                 static_cast<unsigned long long>(r.messages));
+    live_t.row({core::to_string(p), r.seconds, r.messages});
   }
   std::printf(
       "\nPaper's goal: the enhanced NFS v4 client should approach iSCSI\n"
       "even on meta-data-update-intensive workloads.\n");
-  return 0;
+  return bench::finish(opts, report);
 }

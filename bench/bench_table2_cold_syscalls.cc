@@ -39,11 +39,16 @@ const std::map<std::string, PaperRow> kPaper = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header(
       "Table 2: network message overheads, COLD cache",
       "Radkov et al., FAST'04, Table 2 (values in parentheses)");
+  obs::Report report("bench_table2_cold_syscalls",
+                     "Radkov et al., FAST'04, Table 2");
+  obs::ReportTable& t2 = report.table(
+      "table2", {"op", "depth", "nfsv2", "nfsv3", "nfsv4", "iscsi"});
 
   std::printf("%-9s | %20s depth 0 %20s | %20s depth 3\n", "", "", "", "");
   std::printf("%-9s | %11s %11s %11s %11s | %11s %11s %11s %11s\n", "op", "v2",
@@ -76,7 +81,9 @@ int main() {
                   ref.d3[i]);
     }
     std::printf("\n");
+    t2.row({op, 0, d0[0], d0[1], d0[2], d0[3]});
+    t2.row({op, 3, d3[0], d3[1], d3[2], d3[3]});
   }
   std::printf("\nmeasured (paper)\n");
-  return 0;
+  return bench::finish(opts, report);
 }

@@ -37,11 +37,17 @@ const std::map<std::string, PaperRow> kPaper = {
 };
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header(
       "Table 3: network message overheads, WARM cache",
       "Radkov et al., FAST'04, Table 3 (values in parentheses)");
+  obs::Report report("bench_table3_warm_syscalls",
+                     "Radkov et al., FAST'04, Table 3");
+  obs::ReportTable& t3 = report.table(
+      "table3",
+      {"spacing_s", "op", "depth", "nfsv2", "nfsv3", "nfsv4", "iscsi"});
 
   for (sim::Duration spacing : {sim::seconds(1), sim::seconds(5)}) {
     std::printf("\n--- warm-call spacing: %.0f s %s ---\n",
@@ -78,8 +84,10 @@ int main() {
                     ref.d3[i]);
       }
       std::printf("\n");
+      t3.row({sim::to_seconds(spacing), op, 0, d0[0], d0[1], d0[2], d0[3]});
+      t3.row({sim::to_seconds(spacing), op, 3, d3[0], d3[1], d3[2], d3[3]});
     }
   }
   std::printf("\nmeasured (paper)\n");
-  return 0;
+  return bench::finish(opts, report);
 }

@@ -5,11 +5,17 @@
 #include "bench_common.h"
 #include "workloads/large_io.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header("Table 4: 128 MB sequential/random reads and writes",
                       "Radkov et al., FAST'04, Table 4 (paper values in "
                       "parentheses)");
+  obs::Report report("bench_table4_seqrand",
+                     "Radkov et al., FAST'04, Table 4");
+  obs::ReportTable& t4 = report.table(
+      "table4", {"workload", "protocol", "seconds", "messages", "mb_on_wire",
+                 "mean_write_kb"});
 
   struct Row {
     const char* name;
@@ -56,7 +62,23 @@ int main() {
                   " NFS: 4.7 KB)\n",
                   "", ri.mean_write_kb);
     }
+
+    t4.row({row.name, "nfsv3", rn.seconds, rn.messages,
+            static_cast<double>(rn.bytes) / 1e6, rn.mean_write_kb});
+    t4.row({row.name, "iscsi", ri.seconds, ri.messages,
+            static_cast<double>(ri.bytes) / 1e6, ri.mean_write_kb});
+    // Per-request latency breakdown (network/protocol/cpu/cache/media) for
+    // the measured phase of each run; reset_counters() inside the workload
+    // cleared pre-measurement spans.
+    report.add_trace_summary(std::string(row.name) + " | nfsv3",
+                             nfs.tracer());
+    report.add_trace_summary(std::string(row.name) + " | iscsi",
+                             iscsi.tracer());
+    report.add_snapshot(std::string(row.name) + " | nfsv3",
+                        nfs.metrics().snapshot());
+    report.add_snapshot(std::string(row.name) + " | iscsi",
+                        iscsi.metrics().snapshot());
   }
   std::printf("\nmeasured (paper)\n");
-  return 0;
+  return bench::finish(opts, report);
 }

@@ -9,14 +9,20 @@
 #include "bench_common.h"
 #include "workloads/postmark.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header("Table 5: PostMark",
                       "Radkov et al., FAST'04, Table 5 (paper values in "
                       "parentheses; paper ran 100k transactions)");
 
   const bool quick = std::getenv("NETSTORE_QUICK") != nullptr;
   const std::uint32_t txns = quick ? 10000 : 100000;
+  obs::Report report("bench_table5_postmark",
+                     "Radkov et al., FAST'04, Table 5");
+  obs::ReportTable& t5 = report.table(
+      "table5", {"file_pool", "protocol", "seconds", "messages",
+                 "server_cpu_p95"});
 
   struct Row {
     std::uint32_t pool;
@@ -56,7 +62,11 @@ int main() {
         row.paper_nfs_msgs * scale,
         static_cast<unsigned long long>(ri.messages),
         row.paper_iscsi_msgs * scale, rn.server_cpu_p95, ri.server_cpu_p95);
+    t5.row({static_cast<std::uint64_t>(row.pool), "nfsv3", rn.seconds,
+            rn.messages, rn.server_cpu_p95});
+    t5.row({static_cast<std::uint64_t>(row.pool), "iscsi", ri.seconds,
+            ri.messages, ri.server_cpu_p95});
   }
   std::printf("\nmeasured (paper, scaled to the transaction count above)\n");
-  return 0;
+  return bench::finish(opts, report);
 }

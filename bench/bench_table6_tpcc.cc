@@ -6,10 +6,12 @@
 #include "bench_common.h"
 #include "workloads/database.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header("Table 6: TPC-C (OLTP, 4 KB random I/O, 2/3 reads)",
                       "Radkov et al., FAST'04, Table 6");
+  obs::Report report("bench_table6_tpcc", "Radkov et al., FAST'04, Table 6");
 
   workloads::TpccConfig cfg;
   if (std::getenv("NETSTORE_QUICK") != nullptr) {
@@ -34,5 +36,12 @@ int main() {
               "server CPU p95 (%)", rn.server_cpu_p95, ri.server_cpu_p95);
   std::printf("%-26s | %10.0f | %10.0f   (paper Table 10: 100%%, 100%%)\n",
               "client CPU p95 (%)", rn.client_cpu_p95, ri.client_cpu_p95);
-  return 0;
+
+  obs::ReportTable& t6 = report.table(
+      "table6", {"protocol", "normalized_tpm", "messages", "server_cpu_p95",
+                 "client_cpu_p95"});
+  t6.row({"nfsv3", 1.0, rn.messages, rn.server_cpu_p95, rn.client_cpu_p95});
+  t6.row({"iscsi", ri.tpm / rn.tpm, ri.messages, ri.server_cpu_p95,
+          ri.client_cpu_p95});
+  return bench::finish(opts, report);
 }

@@ -5,10 +5,12 @@
 #include "bench_common.h"
 #include "workloads/database.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header("Table 7: TPC-H (DSS, large scans, 32 KB extents)",
                       "Radkov et al., FAST'04, Table 7");
+  obs::Report report("bench_table7_tpch", "Radkov et al., FAST'04, Table 7");
 
   workloads::TpchConfig cfg;
   if (std::getenv("NETSTORE_QUICK") != nullptr) {
@@ -32,5 +34,12 @@ int main() {
               "server CPU p95 (%)", rn.server_cpu_p95, ri.server_cpu_p95);
   std::printf("%-26s | %10.0f | %10.0f   (paper Table 10: 100%%, 100%%)\n",
               "client CPU p95 (%)", rn.client_cpu_p95, ri.client_cpu_p95);
-  return 0;
+
+  obs::ReportTable& t7 = report.table(
+      "table7", {"protocol", "normalized_qph", "messages", "server_cpu_p95",
+                 "client_cpu_p95"});
+  t7.row({"nfsv3", 1.0, rn.messages, rn.server_cpu_p95, rn.client_cpu_p95});
+  t7.row({"iscsi", ri.qph / rn.qph, ri.messages, ri.server_cpu_p95,
+          ri.client_cpu_p95});
+  return bench::finish(opts, report);
 }

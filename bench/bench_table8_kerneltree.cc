@@ -6,8 +6,9 @@
 #include "bench_common.h"
 #include "workloads/kerneltree.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header("Table 8: kernel-tree operations",
                       "Radkov et al., FAST'04, Table 8 (paper values in "
                       "parentheses)");
@@ -45,5 +46,19 @@ int main() {
               "rm -rf", rn.rm_seconds, ri.rm_seconds,
               static_cast<unsigned long long>(rn.rm_messages),
               static_cast<unsigned long long>(ri.rm_messages));
-  return 0;
+
+  obs::Report report("bench_table8_kerneltree",
+                     "Radkov et al., FAST'04, Table 8");
+  obs::ReportTable& t8 = report.table(
+      "table8", {"benchmark", "nfs_seconds", "iscsi_seconds", "nfs_messages",
+                 "iscsi_messages"});
+  t8.row({"tar", rn.tar_seconds, ri.tar_seconds, rn.tar_messages,
+          ri.tar_messages});
+  t8.row({"ls", rn.ls_seconds, ri.ls_seconds, rn.ls_messages,
+          ri.ls_messages});
+  t8.row({"compile", rn.compile_seconds, ri.compile_seconds,
+          rn.compile_messages, ri.compile_messages});
+  t8.row({"rm", rn.rm_seconds, ri.rm_seconds, rn.rm_messages,
+          ri.rm_messages});
+  return bench::finish(opts, report);
 }

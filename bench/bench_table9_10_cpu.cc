@@ -7,8 +7,9 @@
 #include "workloads/database.h"
 #include "workloads/postmark.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netstore;
+  const bench::Options opts = bench::parse_args(argc, argv);
   bench::print_header(
       "Tables 9 & 10: server / client CPU utilization (95th percentile)",
       "Radkov et al., FAST'04, Tables 9 and 10");
@@ -83,5 +84,14 @@ int main() {
                 paper_client[i][1]);
   }
   std::printf("\nmeasured (paper)\n");
-  return 0;
+
+  obs::Report report("bench_table9_10_cpu",
+                     "Radkov et al., FAST'04, Tables 9 and 10");
+  obs::ReportTable& t = report.table(
+      "table9_10", {"workload", "server_nfs_p95", "server_iscsi_p95",
+                    "client_nfs_p95", "client_iscsi_p95"});
+  for (int i = 0; i < 3; ++i) {
+    t.row({names[i], s_nfs[i], s_iscsi[i], c_nfs[i], c_iscsi[i]});
+  }
+  return bench::finish(opts, report);
 }

@@ -14,6 +14,7 @@
 
 #include "block/device.h"
 #include "block/raid5.h"
+#include "obs/trace.h"
 #include "sim/env.h"
 
 namespace netstore::block {
@@ -31,6 +32,7 @@ class LocalBlockDevice final : public BlockDevice {
   void read(Lba lba, std::uint32_t nblocks,
             std::span<std::uint8_t> out) override {
     const sim::Time done = array_.read(env_.now(), lba, nblocks, out);
+    charge_media(done - env_.now());
     env_.advance_to(done);
   }
 
@@ -40,8 +42,10 @@ class LocalBlockDevice final : public BlockDevice {
     last_write_done_ = std::max(last_write_done_, done);
     if (mode == WriteMode::kSync) {
       if (nvram_ack_ > 0) {
+        charge_media(nvram_ack_);
         env_.advance(nvram_ack_);  // durable in controller NVRAM
       } else {
+        charge_media(done - env_.now());
         env_.advance_to(done);
       }
     }
@@ -49,8 +53,10 @@ class LocalBlockDevice final : public BlockDevice {
 
   void flush() override {
     if (nvram_ack_ > 0) {
+      charge_media(nvram_ack_);
       env_.advance(nvram_ack_);
     } else {
+      charge_media(last_write_done_ - env_.now());
       env_.advance_to(last_write_done_);
     }
   }
@@ -64,6 +70,13 @@ class LocalBlockDevice final : public BlockDevice {
   void drain_to_media() { env_.advance_to(last_write_done_); }
 
  private:
+  /// Media time the caller is about to wait out (trace attribution).
+  void charge_media(sim::Duration d) {
+    if (auto* tr = env_.tracer(); tr != nullptr && d > 0) {
+      tr->charge(obs::Component::kMedia, d);
+    }
+  }
+
   sim::Env& env_;
   Raid5Array& array_;
   sim::Duration nvram_ack_;

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace netstore::block {
 
 TimedCache::TimedCache(Raid5Array& array, std::uint64_t capacity_blocks,
@@ -72,6 +74,9 @@ sim::Time TimedCache::read(sim::Time start, Lba lba, std::uint32_t nblocks,
     }
     i += run - 1;
   }
+  if (tracer_ != nullptr && done > start) {
+    tracer_->charge(obs::Component::kMedia, done - start);
+  }
   return done;
 }
 
@@ -133,7 +138,13 @@ sim::Time TimedCache::writeback_down_to(sim::Time start,
 }
 
 sim::Time TimedCache::sync(sim::Time start) {
-  return writeback_down_to(start, 0);
+  const sim::Time done = writeback_down_to(start, 0);
+  // A sync is a durability barrier the caller waits out, unlike the
+  // high-water destage in write() which is background work.
+  if (tracer_ != nullptr && done > start) {
+    tracer_->charge(obs::Component::kMedia, done - start);
+  }
+  return done;
 }
 
 void TimedCache::restart() {

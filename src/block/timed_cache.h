@@ -19,6 +19,10 @@
 #include "sim/stats.h"
 #include "sim/time.h"
 
+namespace netstore::obs {
+class Tracer;
+}  // namespace netstore::obs
+
 namespace netstore::block {
 
 class TimedCache {
@@ -50,6 +54,14 @@ class TimedCache {
   [[nodiscard]] std::uint64_t dirty_blocks() const { return dirty_count_; }
   [[nodiscard]] const sim::Counter& hits() const { return hits_; }
   [[nodiscard]] const sim::Counter& misses() const { return misses_; }
+  /// Non-const access for MetricsRegistry adoption (src/obs).
+  [[nodiscard]] sim::Counter& hits_counter() { return hits_; }
+  [[nodiscard]] sim::Counter& misses_counter() { return misses_; }
+
+  /// Trace-span attribution (src/obs).  The cache has no Env reference, so
+  /// the testbed injects the tracer directly; miss time is charged to the
+  /// media component, hit time (memory-speed, 0 in this model) to cache.
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
 
  private:
   struct Entry {
@@ -70,6 +82,7 @@ class TimedCache {
   std::uint64_t dirty_count_ = 0;
   sim::Counter hits_;
   sim::Counter misses_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace netstore::block

@@ -1,0 +1,136 @@
+// Always-on invariant checks.
+//
+// The simulator's claim to reproduce the paper's tables rests on its
+// protocol state machines never drifting into inconsistent states, so the
+// invariants guarding them must hold in *every* build type — including the
+// RelWithDebInfo binaries the benchmarks run as, where NDEBUG compiles
+// plain asserts out.  NETSTORE_CHECK* stay active unconditionally and
+// abort with a formatted message (file:line, expression, operand values).
+//
+// Tiers:
+//   NETSTORE_CHECK(cond [, msg])        always on, use on cold paths and
+//   NETSTORE_CHECK_EQ/NE/LT/LE/GT/GE    state-machine transitions
+//   NETSTORE_DCHECK(...) and _EQ/...    compiled out under NDEBUG unless
+//                                       NETSTORE_DCHECK_ON is defined
+//                                       (tests build with checks on);
+//                                       use on hot per-block loops
+//
+// All forms accept an optional trailing string literal with extra context:
+//   NETSTORE_CHECK_LE(needed, free, "journal too small");
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <type_traits>
+
+namespace netstore::check_internal {
+
+constexpr const char* Msg() { return ""; }
+constexpr const char* Msg(const char* m) { return m; }
+
+/// Best-effort operand formatting: streamable types via operator<<, enums
+/// via their underlying integer, everything else as a placeholder.
+template <class T>
+std::string Repr(const T& v) {
+  if constexpr (requires(std::ostream& os, const T& t) { os << t; }) {
+    std::ostringstream oss;
+    oss << v;
+    return oss.str();
+  } else if constexpr (std::is_enum_v<T>) {
+    return std::to_string(
+        static_cast<long long>(static_cast<std::underlying_type_t<T>>(v)));
+  } else {
+    return "<unprintable>";
+  }
+}
+
+[[noreturn]] inline void Fail(const char* file, int line, const char* expr,
+                              const char* message) {
+  // netstore-lint: allow(raw-print) -- CHECK-failure diagnostic before abort
+  std::fprintf(stderr, "netstore: CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, *message ? " — " : "", message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] inline void FailOp(const char* file, int line, const char* expr,
+                                const std::string& lhs, const std::string& rhs,
+                                const char* message) {
+  // netstore-lint: allow(raw-print) -- CHECK-failure diagnostic before abort
+  std::fprintf(stderr, "netstore: CHECK failed at %s:%d: %s (%s vs %s)%s%s\n",
+               file, line, expr, lhs.c_str(), rhs.c_str(),
+               *message ? " — " : "", message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace netstore::check_internal
+
+#define NETSTORE_CHECK(cond, ...)                                      \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::netstore::check_internal::Fail(                                \
+          __FILE__, __LINE__, #cond,                                   \
+          ::netstore::check_internal::Msg(__VA_ARGS__));               \
+    }                                                                  \
+  } while (0)
+
+#define NETSTORE_CHECK_OP_(op, a, b, ...)                              \
+  do {                                                                 \
+    const auto& netstore_check_a_ = (a);                               \
+    const auto& netstore_check_b_ = (b);                               \
+    if (!(netstore_check_a_ op netstore_check_b_)) [[unlikely]] {      \
+      ::netstore::check_internal::FailOp(                              \
+          __FILE__, __LINE__, #a " " #op " " #b,                       \
+          ::netstore::check_internal::Repr(netstore_check_a_),         \
+          ::netstore::check_internal::Repr(netstore_check_b_),         \
+          ::netstore::check_internal::Msg(__VA_ARGS__));               \
+    }                                                                  \
+  } while (0)
+
+#define NETSTORE_CHECK_EQ(a, b, ...) NETSTORE_CHECK_OP_(==, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define NETSTORE_CHECK_NE(a, b, ...) NETSTORE_CHECK_OP_(!=, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define NETSTORE_CHECK_LT(a, b, ...) NETSTORE_CHECK_OP_(<, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define NETSTORE_CHECK_LE(a, b, ...) NETSTORE_CHECK_OP_(<=, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define NETSTORE_CHECK_GT(a, b, ...) NETSTORE_CHECK_OP_(>, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define NETSTORE_CHECK_GE(a, b, ...) NETSTORE_CHECK_OP_(>=, a, b __VA_OPT__(, ) __VA_ARGS__)
+
+// Debug tier: full expression still type-checks in release builds, but no
+// code runs unless NDEBUG is off or NETSTORE_DCHECK_ON is defined.
+#if !defined(NDEBUG) || defined(NETSTORE_DCHECK_ON)
+#define NETSTORE_DCHECK_ENABLED 1
+#else
+#define NETSTORE_DCHECK_ENABLED 0
+#endif
+
+#if NETSTORE_DCHECK_ENABLED
+#define NETSTORE_DCHECK(...) NETSTORE_CHECK(__VA_ARGS__)
+#define NETSTORE_DCHECK_EQ(...) NETSTORE_CHECK_EQ(__VA_ARGS__)
+#define NETSTORE_DCHECK_NE(...) NETSTORE_CHECK_NE(__VA_ARGS__)
+#define NETSTORE_DCHECK_LT(...) NETSTORE_CHECK_LT(__VA_ARGS__)
+#define NETSTORE_DCHECK_LE(...) NETSTORE_CHECK_LE(__VA_ARGS__)
+#define NETSTORE_DCHECK_GT(...) NETSTORE_CHECK_GT(__VA_ARGS__)
+#define NETSTORE_DCHECK_GE(...) NETSTORE_CHECK_GE(__VA_ARGS__)
+#else
+#define NETSTORE_DCHECK_NOP_(...)        \
+  do {                                   \
+    if (false) {                         \
+      NETSTORE_CHECK(__VA_ARGS__);       \
+    }                                    \
+  } while (0)
+#define NETSTORE_DCHECK_NOP_OP_(...)     \
+  do {                                   \
+    if (false) {                         \
+      NETSTORE_CHECK_EQ(__VA_ARGS__);    \
+    }                                    \
+  } while (0)
+#define NETSTORE_DCHECK(...) NETSTORE_DCHECK_NOP_(__VA_ARGS__)
+#define NETSTORE_DCHECK_EQ(...) NETSTORE_DCHECK_NOP_OP_(__VA_ARGS__)
+#define NETSTORE_DCHECK_NE(...) NETSTORE_DCHECK_NOP_OP_(__VA_ARGS__)
+#define NETSTORE_DCHECK_LT(...) NETSTORE_DCHECK_NOP_OP_(__VA_ARGS__)
+#define NETSTORE_DCHECK_LE(...) NETSTORE_DCHECK_NOP_OP_(__VA_ARGS__)
+#define NETSTORE_DCHECK_GT(...) NETSTORE_DCHECK_NOP_OP_(__VA_ARGS__)
+#define NETSTORE_DCHECK_GE(...) NETSTORE_DCHECK_NOP_OP_(__VA_ARGS__)
+#endif

@@ -1,10 +1,50 @@
 #include "core/testbed.h"
 
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/check.h"
 
 namespace netstore::core {
+
+/// The one vfs::Instrumentation the testbed installs: opens/closes a trace
+/// span around every syscall and charges the per-call client CPU cost
+/// (clock advance via Vfs::ScopedSyscall, CPU window + trace attribution
+/// here).  vfs::Syscall and obs::Op enumerate the same classes in the same
+/// order, so the mapping is a cast.
+class Testbed::ClientInstr final : public vfs::Instrumentation {
+ public:
+  using CostFn =
+      std::function<sim::Duration(sim::Time, vfs::Syscall, std::uint32_t)>;
+
+  ClientInstr(obs::Tracer& tracer, CostFn cost)
+      : tracer_(tracer), cost_(std::move(cost)) {}
+
+  sim::Duration syscall_cost(sim::Time at, vfs::Syscall kind,
+                             std::uint32_t bytes) override {
+    const sim::Duration d = cost_(at, kind, bytes);
+    tracer_.charge(obs::Component::kCpu, d);
+    return d;
+  }
+
+  void syscall_enter(sim::Time at, vfs::Syscall kind,
+                     std::uint32_t /*bytes*/) override {
+    spans_.push_back(tracer_.begin(static_cast<obs::Op>(kind), at));
+  }
+
+  void syscall_exit(sim::Time at, vfs::Syscall /*kind*/) override {
+    NETSTORE_CHECK(!spans_.empty(), "syscall_exit without matching enter");
+    tracer_.end(spans_.back(), at);
+    spans_.pop_back();
+  }
+
+ private:
+  obs::Tracer& tracer_;
+  CostFn cost_;
+  std::vector<obs::SpanId> spans_;  // innermost last (syscalls may nest)
+};
 
 const char* to_string(Protocol p) {
   switch (p) {
@@ -30,6 +70,9 @@ Testbed::Testbed(Protocol protocol, TestbedConfig config)
       server_cpu_(config.cpu_sample_period),
       client_cpu_(config.cpu_sample_period) {
   env_.set_audit(config_.invariant_audits);
+  // Observability first: components built below may cache env pointers.
+  env_.set_metrics(&metrics_);
+  env_.set_tracer(&tracer_);
   link_ = std::make_unique<net::Link>(env_, config_.link);
   // Size the array to hold the requested volume.
   config_.raid.disk.block_count =
@@ -43,6 +86,7 @@ Testbed::Testbed(Protocol protocol, TestbedConfig config)
   } else {
     build_nfs();
   }
+  register_metrics();
 }
 
 Testbed::~Testbed() {
@@ -69,6 +113,7 @@ fs::Ext3Params Testbed::client_fs_params(const TestbedConfig& c) {
 void Testbed::build_iscsi() {
   target_cache_ = std::make_unique<block::TimedCache>(
       *raid_, config_.target_cache_blocks, config_.target_cache_blocks / 2);
+  target_cache_->set_tracer(&tracer_);
   target_ = std::make_unique<iscsi::Target>(*target_cache_,
                                             config_.volume_blocks);
   target_->set_cost_hook(
@@ -79,6 +124,7 @@ void Testbed::build_iscsi() {
                       : config_.cpu.server_per_page_read) *
                 nblocks;
         server_cpu_.charge(at, d);
+        tracer_.charge(obs::Component::kCpu, d);
         return d;
       });
 
@@ -87,6 +133,7 @@ void Testbed::build_iscsi() {
   initiator_->set_cost_hook([this](sim::Time at, bool, std::uint32_t) {
     const sim::Duration d = config_.cpu.client_per_command;
     client_cpu_.charge(at, d);
+    tracer_.charge(obs::Component::kCpu, d);
     return d;
   });
   initiator_->login();
@@ -100,8 +147,8 @@ void Testbed::build_iscsi() {
   client_fs_->mount();
 
   auto local = std::make_unique<vfs::LocalVfs>(env_, *client_fs_);
-  local->set_cost_hook(
-      [this](sim::Time at, vfs::Syscall, std::uint32_t bytes) {
+  instr_ = std::make_unique<ClientInstr>(
+      tracer_, [this](sim::Time at, vfs::Syscall, std::uint32_t bytes) {
         const sim::Duration d =
             config_.cpu.client_fs_syscall +
             config_.cpu.client_per_page *
@@ -109,6 +156,7 @@ void Testbed::build_iscsi() {
         client_cpu_.charge(at, d);
         return d;
       });
+  local->set_instrumentation(instr_.get());
   vfs_ = std::move(local);
 }
 
@@ -180,6 +228,7 @@ void Testbed::build_nfs() {
                ((bytes + block::kBlockSize - 1) / block::kBlockSize);
         }
         server_cpu_.charge(at, d);
+        tracer_.charge(obs::Component::kCpu, d);
         return d;
       });
 
@@ -189,30 +238,115 @@ void Testbed::build_nfs() {
   nfs_client_->mount();
 
   auto v = std::make_unique<vfs::NfsVfs>(env_, *nfs_client_);
-  v->set_cost_hook([this](sim::Time at, vfs::Syscall, std::uint32_t bytes) {
-    const sim::Duration d =
-        config_.cpu.client_nfs_syscall +
-        config_.cpu.client_per_page *
-            ((bytes + block::kBlockSize - 1) / block::kBlockSize) / 2;
-    client_cpu_.charge(at, d);
-    return d;
-  });
+  instr_ = std::make_unique<ClientInstr>(
+      tracer_, [this](sim::Time at, vfs::Syscall, std::uint32_t bytes) {
+        const sim::Duration d =
+            config_.cpu.client_nfs_syscall +
+            config_.cpu.client_per_page *
+                ((bytes + block::kBlockSize - 1) / block::kBlockSize) / 2;
+        client_cpu_.charge(at, d);
+        return d;
+      });
+  v->set_instrumentation(instr_.get());
   vfs_ = std::move(v);
 }
 
-std::uint64_t Testbed::messages() const {
-  if (protocol_ == Protocol::kIscsi) return initiator_->exchanges();
-  return rpc_->stats().calls.value();
+namespace {
+
+double hit_ratio(std::uint64_t hits, std::uint64_t misses) {
+  const std::uint64_t total = hits + misses;
+  return total == 0 ? 0.0 : static_cast<double>(hits) / total;
 }
 
-std::uint64_t Testbed::bytes() const { return link_->total_bytes(); }
+}  // namespace
 
-std::uint64_t Testbed::raw_messages() const { return link_->total_messages(); }
+StatsSnapshot Testbed::snapshot() const {
+  StatsSnapshot s;
+  s.now = env_.now();
 
-std::uint64_t Testbed::retransmissions() const {
-  return protocol_ == Protocol::kIscsi
-             ? 0
-             : rpc_->stats().retransmissions.value();
+  const net::TrafficStats& c2s =
+      link_->stats(net::Direction::kClientToServer);
+  const net::TrafficStats& s2c =
+      link_->stats(net::Direction::kServerToClient);
+  s.c2s_messages = c2s.messages.value();
+  s.c2s_bytes = c2s.bytes.value();
+  s.s2c_messages = s2c.messages.value();
+  s.s2c_bytes = s2c.bytes.value();
+  s.raw_messages = s.c2s_messages + s.s2c_messages;
+  s.bytes = s.c2s_bytes + s.s2c_bytes;
+
+  if (protocol_ == Protocol::kIscsi) {
+    s.messages = initiator_->exchanges();
+    s.retransmissions = 0;
+    s.client_cache_hit_ratio =
+        hit_ratio(client_fs_->pages().stats().hits.value(),
+                  client_fs_->pages().stats().misses.value());
+    s.server_cache_hit_ratio = hit_ratio(target_cache_->hits().value(),
+                                         target_cache_->misses().value());
+  } else {
+    s.messages = rpc_->stats().calls.value();
+    s.retransmissions = rpc_->stats().retransmissions.value();
+    s.server_cache_hit_ratio =
+        hit_ratio(server_fs_->pages().stats().hits.value(),
+                  server_fs_->pages().stats().misses.value());
+  }
+
+  s.server_cpu_busy = server_cpu_.total_busy();
+  s.client_cpu_busy = client_cpu_.total_busy();
+  return s;
+}
+
+void Testbed::register_metrics() {
+  metrics_.adopt_counter(
+      "link.c2s.messages",
+      link_->mutable_stats(net::Direction::kClientToServer).messages);
+  metrics_.adopt_counter(
+      "link.c2s.bytes",
+      link_->mutable_stats(net::Direction::kClientToServer).bytes);
+  metrics_.adopt_counter(
+      "link.s2c.messages",
+      link_->mutable_stats(net::Direction::kServerToClient).messages);
+  metrics_.adopt_counter(
+      "link.s2c.bytes",
+      link_->mutable_stats(net::Direction::kServerToClient).bytes);
+
+  if (protocol_ == Protocol::kIscsi) {
+    metrics_.adopt_counter("iscsi.initiator.exchanges",
+                           initiator_->exchanges_counter());
+    metrics_.adopt_counter("iscsi.initiator.write_commands",
+                           initiator_->write_commands_counter());
+    metrics_.adopt_counter("iscsi.initiator.write_bytes",
+                           initiator_->write_bytes_counter());
+    metrics_.adopt_counter("iscsi.target.cache.hits",
+                           target_cache_->hits_counter());
+    metrics_.adopt_counter("iscsi.target.cache.misses",
+                           target_cache_->misses_counter());
+  } else {
+    rpc::RpcStats& rs = rpc_->mutable_stats();
+    metrics_.adopt_counter("rpc.calls", rs.calls);
+    metrics_.adopt_counter("rpc.retransmissions", rs.retransmissions);
+    nfs::ClientStats& cs = nfs_client_->mutable_stats();
+    metrics_.adopt_counter("nfs.client.lookups", cs.lookups);
+    metrics_.adopt_counter("nfs.client.revalidations", cs.revalidations);
+    metrics_.adopt_counter("nfs.client.batched_ops", cs.batched_ops);
+    metrics_.adopt_counter("nfs.client.batch_flushes", cs.batch_flushes);
+    metrics_.adopt_counter("nfs.server.requests",
+                           nfs_server_->requests_counter());
+  }
+
+  metrics_.adopt_sampler("trace.total_us", tracer_.total_us());
+  for (std::size_t i = 0; i < obs::kComponentCount; ++i) {
+    const auto c = static_cast<obs::Component>(i);
+    metrics_.adopt_sampler(
+        std::string("trace.component.") + obs::to_string(c) + "_us",
+        tracer_.component_us(c));
+  }
+  for (std::size_t i = 0; i < obs::kOpCount; ++i) {
+    const auto op = static_cast<obs::Op>(i);
+    metrics_.adopt_sampler(
+        std::string("trace.op.") + obs::to_string(op) + "_us",
+        tracer_.op_total_us(op));
+  }
 }
 
 void Testbed::reset_counters() {
@@ -224,6 +358,9 @@ void Testbed::reset_counters() {
   }
   server_cpu_.begin_window(env_.now());
   client_cpu_.begin_window(env_.now());
+  // A fresh measurement phase also starts from a clean span history, so
+  // Table 4's latency breakdown covers only the measured requests.
+  tracer_.reset();
 }
 
 void Testbed::cold_caches() {

@@ -20,6 +20,8 @@
 #include "net/link.h"
 #include "nfs/client.h"
 #include "nfs/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/rpc.h"
 #include "sim/env.h"
 #include "vfs/local_vfs.h"
@@ -37,6 +39,35 @@ enum class Protocol {
 };
 
 [[nodiscard]] const char* to_string(Protocol p);
+
+/// One coherent cut of the testbed's measurements at a point in virtual
+/// time.  Everything a paper table needs, gathered in one call instead of
+/// a getter per statistic; diff two snapshots to measure a phase.
+struct StatsSnapshot {
+  sim::Time now = 0;
+
+  // Traffic (the paper's Ethereal/nfsstat numbers).
+  std::uint64_t messages = 0;         // protocol exchanges (RPCs / commands)
+  std::uint64_t bytes = 0;            // wire bytes, both directions
+  std::uint64_t raw_messages = 0;     // link-level frames/PDUs
+  std::uint64_t retransmissions = 0;  // spurious RPC duplicates (NFS only)
+  std::uint64_t c2s_messages = 0;
+  std::uint64_t c2s_bytes = 0;
+  std::uint64_t s2c_messages = 0;
+  std::uint64_t s2c_bytes = 0;
+
+  // Per-side CPU busy time since construction (vmstat-style windows live
+  // in CpuModel; this is the running total).
+  sim::Duration server_cpu_busy = 0;
+  sim::Duration client_cpu_busy = 0;
+
+  // Cache effectiveness, computed live from whichever caches the stack
+  // has: client = client fs page cache (iSCSI; NFS has no client-side
+  // page-hit counter), server = server fs page cache (NFS) or target
+  // write-back cache (iSCSI).  0 when there are no lookups yet.
+  double client_cache_hit_ratio = 0.0;
+  double server_cache_hit_ratio = 0.0;
+};
 
 class Testbed {
  public:
@@ -56,14 +87,27 @@ class Testbed {
   [[nodiscard]] CpuModel& client_cpu() { return client_cpu_; }
   [[nodiscard]] const TestbedConfig& config() const { return config_; }
 
+  /// One coherent cut of every counter the tables consume.
+  [[nodiscard]] StatsSnapshot snapshot() const;
+
+  /// The unified metric namespace (owned + component-adopted metrics).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Per-request trace spans (opened at VFS entry, closed at return).
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+
+  // Legacy getters, kept as thin wrappers over snapshot().
   /// Protocol exchanges — the paper's "number of messages".
-  [[nodiscard]] std::uint64_t messages() const;
+  [[nodiscard]] std::uint64_t messages() const { return snapshot().messages; }
   /// Bytes on the wire (both directions).
-  [[nodiscard]] std::uint64_t bytes() const;
+  [[nodiscard]] std::uint64_t bytes() const { return snapshot().bytes; }
   /// Raw link-level messages (PDUs / RPC frames), both directions.
-  [[nodiscard]] std::uint64_t raw_messages() const;
+  [[nodiscard]] std::uint64_t raw_messages() const {
+    return snapshot().raw_messages;
+  }
   /// RPC retransmissions (NFS only; 0 for iSCSI).
-  [[nodiscard]] std::uint64_t retransmissions() const;
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return snapshot().retransmissions;
+  }
 
   /// Zeroes traffic counters and opens a CPU measurement window.
   void reset_counters();
@@ -91,8 +135,15 @@ class Testbed {
   [[nodiscard]] block::Raid5Array& raid() { return *raid_; }
 
  private:
+  class ClientInstr;  // vfs::Instrumentation impl (spans + CPU costs)
+
   void build_iscsi();
   void build_nfs();
+  /// Adopts every long-lived component counter into the registry.  The fs
+  /// page/buffer caches are deliberately absent: mount() recreates them,
+  /// which would dangle an adopted reference — their ratios are computed
+  /// live in snapshot() instead.
+  void register_metrics();
   [[nodiscard]] nfs::ClientConfig nfs_client_config() const;
   [[nodiscard]] static fs::Ext3Params client_fs_params(
       const TestbedConfig& c);
@@ -100,6 +151,8 @@ class Testbed {
   Protocol protocol_;
   TestbedConfig config_;
   sim::Env env_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   CpuModel server_cpu_;
   CpuModel client_cpu_;
 
@@ -119,6 +172,7 @@ class Testbed {
   std::unique_ptr<rpc::RpcTransport> rpc_;
   std::unique_ptr<nfs::NfsClient> nfs_client_;
 
+  std::unique_ptr<ClientInstr> instr_;
   std::unique_ptr<vfs::Vfs> vfs_;
 };
 

@@ -59,6 +59,9 @@ class Bcache {
   [[nodiscard]] std::uint64_t dirty_count() const { return dirty_count_; }
   [[nodiscard]] const sim::Counter& hits() const { return hits_; }
   [[nodiscard]] const sim::Counter& misses() const { return misses_; }
+  /// Non-const access for MetricsRegistry adoption (src/obs).
+  [[nodiscard]] sim::Counter& hits_counter() { return hits_; }
+  [[nodiscard]] sim::Counter& misses_counter() { return misses_; }
 
  private:
   struct Entry {

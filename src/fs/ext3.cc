@@ -713,6 +713,7 @@ Result<Attr> Ext3Fs::getattr(Ino ino) {
   const RawInode ri = read_inode(ino);
   if (ri.nlink == 0 && ino != kRootIno) {
 #ifdef NETSTORE_DEBUG_STALE
+    // netstore-lint: allow(raw-print) -- opt-in debug diagnostic
     std::fprintf(stderr, "STALE getattr ino=%llu\n",
                  (unsigned long long)ino);
 #endif

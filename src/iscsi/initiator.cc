@@ -5,6 +5,7 @@
 
 #include "core/check.h"
 #include "iscsi/pdu.h"
+#include "obs/trace.h"
 
 namespace netstore::iscsi {
 
@@ -77,12 +78,22 @@ sim::Time Initiator::issue_read(block::Lba lba, std::uint32_t nblocks,
         last, link_.send_at(Direction::kServerToClient, pdu_size(seg), served));
     remaining -= seg;
   }
+  // Wire time of the command PDU and the Data-In stream; target CPU and
+  // array time are attributed at the target.  Dropped automatically on
+  // non-blocking paths (prefetch suspends the tracer).
+  if (auto* tr = env_.tracer()) {
+    tr->charge(obs::Component::kNetwork, (at_target - t) + (last - served));
+  }
   return last;
 }
 
 sim::Time Initiator::issue_write(block::Lba lba, std::uint32_t nblocks,
                                  std::span<const std::uint8_t> data) {
   NETSTORE_CHECK_EQ(state_, SessionState::kLoggedIn, "session not logged in");
+  // Tagged-queue write: completion is tracked in `outstanding_`, not
+  // waited on here, so its time must not bill the active span.  Sync
+  // writers pay the wait in write(), which lands in the protocol residual.
+  obs::SuspendGuard trace_guard(env_.tracer());
   exchanges_.add(1);
   write_commands_.add(1);
   write_bytes_.add(static_cast<std::uint64_t>(nblocks) * kBlockSize);
@@ -154,6 +165,8 @@ std::optional<sim::Time> Initiator::prefetch(block::Lba lba,
                                              std::span<std::uint8_t> out) {
   NETSTORE_CHECK_LE(static_cast<std::uint64_t>(nblocks) * kBlockSize,
                     params_.max_burst_length);
+  // Read-ahead is speculative: nobody blocks on it yet.
+  obs::SuspendGuard trace_guard(env_.tracer());
   return issue_read(lba, nblocks, out);
 }
 

@@ -65,6 +65,13 @@ class Initiator final : public block::BlockDevice {
     return write_bytes_.value();
   }
 
+  /// Non-const access for MetricsRegistry adoption (src/obs).
+  [[nodiscard]] sim::Counter& exchanges_counter() { return exchanges_; }
+  [[nodiscard]] sim::Counter& write_commands_counter() {
+    return write_commands_;
+  }
+  [[nodiscard]] sim::Counter& write_bytes_counter() { return write_bytes_; }
+
   void reset_stats();
 
   void set_cost_hook(InitiatorCostHook hook) { cost_hook_ = std::move(hook); }

@@ -89,6 +89,11 @@ class Link {
     return d == Direction::kClientToServer ? c2s_ : s2c_;
   }
 
+  /// Non-const access for MetricsRegistry adoption (src/obs).
+  [[nodiscard]] TrafficStats& mutable_stats(Direction d) {
+    return d == Direction::kClientToServer ? c2s_ : s2c_;
+  }
+
   /// Messages summed over both directions.
   [[nodiscard]] std::uint64_t total_messages() const {
     return c2s_.messages.value() + s2c_.messages.value();

@@ -80,6 +80,8 @@ class NfsServer {
   fs::Status commit(Fh fh);
 
   [[nodiscard]] std::uint64_t requests() const { return requests_.value(); }
+  /// Non-const access for MetricsRegistry adoption (src/obs).
+  [[nodiscard]] sim::Counter& requests_counter() { return requests_; }
 
  private:
   /// Journal barrier after a metadata mutation when sync_metadata.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace netstore::rpc {
 
 sim::Time RpcTransport::exchange(std::uint32_t request_payload,
@@ -14,6 +16,15 @@ sim::Time RpcTransport::exchange(std::uint32_t request_payload,
   const sim::Time served = work(arrival);
   sim::Time reply = link_.send_at(net::Direction::kServerToClient,
                                   config_.header_bytes + reply_payload, served);
+
+  // Wire time of both legs (transmission + propagation + pipe queueing).
+  // Server-side time is attributed by the layers that spend it; the
+  // retransmission penalty below deliberately falls into the protocol
+  // residual.  Dropped automatically on non-blocking paths (call_async
+  // suspends the tracer).
+  if (auto* tr = env_.tracer()) {
+    tr->charge(obs::Component::kNetwork, (arrival - t0) + (reply - served));
+  }
 
   // Spurious client retransmissions: the timer fires while the reply is
   // still in flight; each duplicate request costs a message and delays the
@@ -43,6 +54,9 @@ void RpcTransport::call(std::uint32_t request_payload,
 sim::Time RpcTransport::call_async(std::uint32_t request_payload,
                                    std::uint32_t reply_payload,
                                    const ServerWork& work) {
+  // Write-behind traffic: the caller does not wait for this exchange, so
+  // none of its time may bill the active request's span.
+  obs::SuspendGuard guard(env_.tracer());
   return exchange(request_payload, reply_payload, work);
 }
 

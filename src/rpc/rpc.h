@@ -62,6 +62,8 @@ class RpcTransport {
                        std::uint32_t reply_payload, const ServerWork& work);
 
   [[nodiscard]] const RpcStats& stats() const { return stats_; }
+  /// Non-const access for MetricsRegistry adoption (src/obs).
+  [[nodiscard]] RpcStats& mutable_stats() { return stats_; }
   void reset_stats() { stats_.reset(); }
 
   [[nodiscard]] net::Link& link() { return link_; }

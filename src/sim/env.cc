@@ -3,6 +3,9 @@
 #include <utility>
 
 #include "core/check.h"
+// Header-only use of the tracer's inline suspend/resume; netstore_sim does
+// not link netstore_obs (the obs library links sim, not vice versa).
+#include "obs/trace.h"
 
 namespace netstore::sim {
 
@@ -39,7 +42,12 @@ void Env::advance_to(Time t) {
     queue_.pop();
     if (audit_) audit_pop(ev, t);
     if (ev.at > now_) now_ = ev.at;
-    ev.fn();
+    {
+      // Deferred daemon work must not bill the request whose advance
+      // happens to dispatch it.
+      obs::SuspendGuard guard(tracer_);
+      ev.fn();
+    }
   }
   // A callback may re-entrantly advance the clock past `t` (e.g. a flusher
   // blocking on a device); never move it backwards.
@@ -52,7 +60,10 @@ void Env::drain() {
     queue_.pop();
     if (audit_) audit_pop(ev, ev.at > now_ ? ev.at : now_);
     if (ev.at > now_) now_ = ev.at;
-    ev.fn();
+    {
+      obs::SuspendGuard guard(tracer_);
+      ev.fn();
+    }
   }
 }
 

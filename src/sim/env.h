@@ -16,6 +16,11 @@
 
 #include "sim/time.h"
 
+namespace netstore::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace netstore::obs
+
 namespace netstore::sim {
 
 /// The simulation environment.  One instance per testbed; every simulated
@@ -67,6 +72,16 @@ class Env {
   /// if events are still pending.
   void check_quiesced() const;
 
+  /// Observability wiring (owned by the Testbed, see src/obs).  Null when
+  /// a component is driven standalone; every instrumentation site must
+  /// null-check.  The Env suspends the tracer around deferred-event
+  /// dispatch so daemon work (journal commits, page flushes) never bills
+  /// the request that happens to be advancing the clock.
+  void set_metrics(obs::MetricsRegistry* m) { metrics_ = m; }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
  private:
   struct Event {
     Time at;
@@ -84,6 +99,8 @@ class Env {
   void audit_pop(const Event& ev, Time target);
 
   Time now_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   bool audit_ = false;
   bool audit_has_last_pop_ = false;
   Time audit_last_pop_at_ = 0;

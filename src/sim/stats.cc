@@ -24,14 +24,32 @@ double Sampler::max() const {
 }
 
 double Sampler::percentile(double p) const {
+  NETSTORE_CHECK(!std::isnan(p), "Sampler::percentile: p is NaN");
+  p = std::clamp(p, 0.0, 100.0);
   if (samples_.empty()) return 0.0;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
   const auto hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - std::floor(rank);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  return sorted_[lo] + (sorted_[hi] - sorted_[lo]) * frac;
+}
+
+Sampler::Summary Sampler::summary() const {
+  Summary s;
+  s.count = count();
+  if (s.count == 0) return s;
+  s.mean = mean();
+  s.min = min();
+  s.max = max();
+  s.p50 = percentile(50);
+  s.p95 = percentile(95);
+  s.p99 = percentile(99);
+  return s;
 }
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {

@@ -26,19 +26,46 @@ class Counter {
 /// Collects scalar samples; answers mean / min / max / percentile queries.
 class Sampler {
  public:
-  void record(double v) { samples_.push_back(v); }
-  void reset() { samples_.clear(); }
+  /// One-struct digest of the distribution, so reporting code makes one
+  /// call instead of five.  All fields are 0 for an empty sampler.
+  struct Summary {
+    std::size_t count = 0;
+    double mean = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+
+  void record(double v) {
+    samples_.push_back(v);
+    sorted_valid_ = false;
+  }
+  void reset() {
+    samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+  }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] double mean() const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
 
-  /// Nearest-rank percentile; p in [0, 100].  Returns 0 when empty.
+  /// Interpolated percentile.  `p` must not be NaN (NETSTORE_CHECK) and is
+  /// clamped to [0, 100].  Returns 0 when empty.  The sorted order is
+  /// cached between record()s, so percentile sweeps are O(n log n) once
+  /// rather than per call.
   [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] Summary summary() const;
 
  private:
   std::vector<double> samples_;
+  // Cached ascending copy of samples_, rebuilt lazily after a record().
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 /// Fixed-boundary histogram for message-size / latency distributions.

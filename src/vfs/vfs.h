@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -29,9 +28,24 @@ enum class Syscall {
   kClose,
 };
 
-/// Charged at syscall entry; lets the testbed account client CPU.
-using ClientCostHook =
-    std::function<sim::Duration(sim::Time at, Syscall kind, std::uint32_t bytes)>;
+/// Everything the testbed observes about the syscall surface, folded into
+/// one interface: per-call client CPU cost and the per-request trace-span
+/// lifecycle.  The Testbed installs a single Instrumentation object
+/// instead of wiring N std::function hooks.
+class Instrumentation {
+ public:
+  virtual ~Instrumentation() = default;
+
+  /// Client CPU cost of the call; charged (clock advanced) at entry.
+  virtual sim::Duration syscall_cost(sim::Time at, Syscall kind,
+                                     std::uint32_t bytes) = 0;
+
+  /// Trace-span lifecycle around every syscall.  enter runs before the
+  /// CPU cost is charged; exit runs when the call returns.
+  virtual void syscall_enter(sim::Time at, Syscall kind,
+                             std::uint32_t bytes) = 0;
+  virtual void syscall_exit(sim::Time at, Syscall kind) = 0;
+};
 
 class Vfs {
  public:
@@ -68,16 +82,35 @@ class Vfs {
       Fd fd, std::uint64_t off, std::span<const std::uint8_t> in) = 0;
   virtual fs::Status fsync(Fd fd) = 0;
 
-  void set_cost_hook(ClientCostHook hook) { cost_hook_ = std::move(hook); }
+  /// Installs the (non-owning) instrumentation object; null disables.
+  void set_instrumentation(Instrumentation* in) { instr_ = in; }
 
  protected:
-  /// Called at the top of every syscall by implementations.
-  void charge(sim::Env& env, Syscall kind, std::uint32_t bytes) {
-    if (cost_hook_) env.advance(cost_hook_(env.now(), kind, bytes));
-  }
+  /// RAII syscall bracket: implementations open one at the top of every
+  /// syscall.  Entry opens the trace span and charges the client CPU
+  /// cost; destruction closes the span when the call returns.
+  class ScopedSyscall {
+   public:
+    ScopedSyscall(Vfs& vfs, sim::Env& env, Syscall kind, std::uint32_t bytes)
+        : instr_(vfs.instr_), env_(env), kind_(kind) {
+      if (instr_ == nullptr) return;
+      instr_->syscall_enter(env_.now(), kind_, bytes);
+      env_.advance(instr_->syscall_cost(env_.now(), kind_, bytes));
+    }
+    ~ScopedSyscall() {
+      if (instr_ != nullptr) instr_->syscall_exit(env_.now(), kind_);
+    }
+    ScopedSyscall(const ScopedSyscall&) = delete;
+    ScopedSyscall& operator=(const ScopedSyscall&) = delete;
+
+   private:
+    Instrumentation* instr_;
+    sim::Env& env_;
+    Syscall kind_;
+  };
 
  private:
-  ClientCostHook cost_hook_;
+  Instrumentation* instr_ = nullptr;
 };
 
 }  // namespace netstore::vfs

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/testbed.h"
+#include "obs/report.h"
 #include "sim/rng.h"
 
 namespace netstore {
@@ -118,6 +119,46 @@ TEST_P(SameSeedDeterminism, TwoRunsProduceIdenticalDigests) {
   ASSERT_FALSE(first.empty());
   EXPECT_EQ(first, second);
   EXPECT_NE(first.find("msgs="), std::string::npos);
+}
+
+// Same-seed determinism must extend to the exported artifacts: the full
+// obs::Report rendering — every registry metric, every trace-span sampler
+// summary — must be byte-identical across two runs, because EXPERIMENTS.md
+// and the CI bench-smoke artifacts are diffed at the byte level.
+std::string report_json_of(Protocol proto, std::uint64_t seed) {
+  Testbed bed(proto, audited_config());
+  sim::Rng rng(seed);
+  std::vector<std::uint8_t> buf(8 * 1024);
+  for (int i = 0; i < 12; ++i) {
+    auto fd = bed.vfs().creat("/r" + std::to_string(i), 0644);
+    if (!fd.ok()) return {};
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+    (void)bed.vfs().write(*fd, rng.uniform(4) * buf.size(), buf);
+    if (rng.chance(0.5)) (void)bed.vfs().fsync(*fd);
+    (void)bed.vfs().close(*fd);
+    std::vector<std::uint8_t> rd(buf.size());
+    auto rfd = bed.vfs().open("/r" + std::to_string(rng.uniform(i + 1)));
+    if (rfd.ok()) {
+      (void)bed.vfs().read(*rfd, 0, rd);
+      (void)bed.vfs().close(*rfd);
+    }
+  }
+  bed.settle();
+
+  obs::Report report("determinism_test", "same-seed export gate");
+  report.add_snapshot("final", bed.metrics().snapshot());
+  report.add_trace_summary("final", bed.tracer());
+  return report.json();
+}
+
+TEST_P(SameSeedDeterminism, ExportedReportJsonIsBitIdentical) {
+  const std::string first = report_json_of(GetParam(), 0x5eedull);
+  const std::string second = report_json_of(GetParam(), 0x5eedull);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"format\":\"netstore-report-v1\""),
+            std::string::npos);
+  EXPECT_NE(first.find("trace.component.media_us"), std::string::npos);
 }
 
 TEST_P(SameSeedDeterminism, DifferentSeedsPerturbTheWorkload) {

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate a netstore-report-v1 JSON file (the bench --json output).
+
+Usage: check_report.py <report.json>...
+
+Checks, per file:
+  * top level: format == "netstore-report-v1", bench/reproduces strings,
+    tables and snapshots arrays present
+  * every table: unique name, string columns, every row exactly as wide
+    as the header, cells are strings or finite numbers
+  * every snapshot: metrics keyed by dotted names; each value is a
+    counter {value}, sampler {count, mean, min, max, p50, p95, p99} or
+    histogram {total, buckets}
+  * every trace:* table: the per-component mean latencies sum to the
+    total mean within 1 us (the paper's Table 4 breakdown criterion)
+
+Exit status 0 iff every file passes.  Stdlib only.
+"""
+
+import json
+import math
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}")
+    return False
+
+
+def check_cell(c):
+    if isinstance(c, str):
+        return True
+    if isinstance(c, bool):
+        return False
+    if isinstance(c, (int, float)):
+        return math.isfinite(c)
+    return False
+
+
+def check_metric(key, v):
+    kind = v.get("kind")
+    if kind == "counter":
+        return isinstance(v.get("value"), int)
+    if kind == "sampler":
+        if not isinstance(v.get("count"), int):
+            return False
+        return all(
+            isinstance(v.get(f), (int, float)) and math.isfinite(v[f])
+            for f in ("mean", "min", "max", "p50", "p95", "p99")
+        )
+    if kind == "histogram":
+        if not isinstance(v.get("total"), int):
+            return False
+        buckets = v.get("buckets")
+        if not isinstance(buckets, list) or not buckets:
+            return False
+        for b in buckets:
+            if not (isinstance(b, list) and len(b) == 2):
+                return False
+            bound, count = b
+            if not isinstance(count, int):
+                return False
+            if not (bound == "+inf" or isinstance(bound, (int, float))):
+                return False
+        return buckets[-1][0] == "+inf"
+    return False
+
+
+def check_trace_table(path, t):
+    """trace:* tables: component mean latencies must sum to the total."""
+    cols = t["columns"]
+    if "scope" not in cols or "mean_us" not in cols:
+        return fail(path, f"table {t['name']}: missing scope/mean_us columns")
+    scope_i, mean_i, count_i = (
+        cols.index("scope"),
+        cols.index("mean_us"),
+        cols.index("count"),
+    )
+    total_mean = None
+    comp_sum = 0.0
+    total_count = None
+    for row in t["rows"]:
+        scope = row[scope_i]
+        if scope == "total":
+            total_mean = row[mean_i]
+            total_count = row[count_i]
+        elif scope.startswith("component:"):
+            comp_sum += row[mean_i]
+    if total_mean is None:
+        return fail(path, f"table {t['name']}: no 'total' row")
+    if total_count and abs(comp_sum - total_mean) > 1.0:
+        return fail(
+            path,
+            f"table {t['name']}: component means sum to {comp_sum:.3f} us "
+            f"but total mean is {total_mean:.3f} us (> 1 us apart)",
+        )
+    return True
+
+
+def check_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            r = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, str(e))
+
+    if r.get("format") != "netstore-report-v1":
+        return fail(path, f"bad format field: {r.get('format')!r}")
+    for field in ("bench", "reproduces"):
+        if not isinstance(r.get(field), str) or not r[field]:
+            return fail(path, f"missing/empty {field!r}")
+    if not isinstance(r.get("tables"), list) or not isinstance(
+        r.get("snapshots"), list
+    ):
+        return fail(path, "tables/snapshots must be arrays")
+
+    ok = True
+    names = set()
+    for t in r["tables"]:
+        name = t.get("name")
+        if not name or name in names:
+            ok = fail(path, f"missing or duplicate table name: {name!r}")
+            continue
+        names.add(name)
+        cols = t.get("columns")
+        if not isinstance(cols, list) or not all(
+            isinstance(c, str) for c in cols
+        ):
+            ok = fail(path, f"table {name}: bad columns")
+            continue
+        for i, row in enumerate(t.get("rows", [])):
+            if not isinstance(row, list) or len(row) != len(cols):
+                ok = fail(path, f"table {name} row {i}: width != header")
+            elif not all(check_cell(c) for c in row):
+                ok = fail(path, f"table {name} row {i}: bad cell value")
+        if name.startswith("trace:"):
+            ok = check_trace_table(path, t) and ok
+
+    for s in r["snapshots"]:
+        label = s.get("label")
+        metrics = s.get("metrics")
+        if not isinstance(label, str) or not isinstance(metrics, dict):
+            ok = fail(path, "snapshot missing label/metrics")
+            continue
+        for key, v in metrics.items():
+            if not check_metric(key, v):
+                ok = fail(path, f"snapshot {label!r}: bad metric {key!r}")
+
+    if ok:
+        nrows = sum(len(t["rows"]) for t in r["tables"])
+        print(
+            f"{path}: OK ({len(r['tables'])} table(s), {nrows} row(s), "
+            f"{len(r['snapshots'])} snapshot(s))"
+        )
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    return 0 if all([check_report(p) for p in argv[1:]]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

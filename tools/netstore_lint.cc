@@ -21,6 +21,11 @@
 //   float-eq        ==/!= against floating-point literals in service-time
 //                   models silently diverges across FMA/optimization
 //                   levels
+//   raw-print       printf/std::cout/std::cerr inside src/ (outside the
+//                   obs/ reporting layer): simulator components must not
+//                   write to the console — route output through
+//                   obs::Report / metrics, or suppress for genuine
+//                   diagnostics (e.g. the CHECK failure handler)
 //
 // Suppress a finding with a comment on the same line or the line above:
 //   // netstore-lint: allow(unordered-iter) -- victims are sorted below
@@ -190,6 +195,7 @@ class Linter {
     for (const SourceFile& f : files_) {
       std::vector<Finding> file_findings;
       check_simple_patterns(f, file_findings);
+      check_raw_print(f, file_findings);
       check_unordered_iteration(f, file_findings);
       check_virtual_dtor(f, file_findings);
       check_float_eq(f, file_findings);
@@ -289,6 +295,47 @@ class Linter {
             break;  // one finding per rule per line
           }
           pos = line.find(p.needle, pos + 1);
+        }
+      }
+    }
+  }
+
+  // --- raw-print --------------------------------------------------------
+
+  void check_raw_print(const SourceFile& f, std::vector<Finding>& out) {
+    // The observability layer is the one place allowed to format output
+    // (obs::Report renders JSON/CSV); everything else in src/ must stay
+    // silent so bench stdout is owned by the bench binaries alone.
+    if (f.module == "obs") return;
+    struct Pattern {
+      const char* needle;
+      bool word_boundary;
+    };
+    static const Pattern kPatterns[] = {
+        {"printf(", true},   // std::printf( matches too (':' is a boundary)
+        {"fprintf(", true},
+        {"std::cout", false},
+        {"std::cerr", false},
+        {"std::clog", false},
+    };
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+      const std::string& line = f.code[li];
+      for (const Pattern& p : kPatterns) {
+        std::size_t pos = line.find(p.needle);
+        bool hit = false;
+        while (pos != std::string::npos) {
+          if (!p.word_boundary || at_word(line, pos, p.needle)) {
+            hit = true;
+            break;
+          }
+          pos = line.find(p.needle, pos + 1);
+        }
+        if (hit) {
+          out.push_back({f.path, li + 1, "raw-print",
+                         "raw console output in a simulator component; "
+                         "report through obs:: instead, or suppress for "
+                         "genuine diagnostics"});
+          break;  // one finding per line
         }
       }
     }
@@ -613,7 +660,7 @@ int main(int argc, char** argv) {
   if (self_test) {
     // Negative-test mode: the fixture tree must trip every rule.
     const std::set<std::string> required = {
-        "wall-clock", "rand",         "raw-assert",
+        "wall-clock",     "rand",         "raw-assert", "raw-print",
         "unordered-iter", "virtual-dtor", "float-eq",
     };
     std::set<std::string> fired;

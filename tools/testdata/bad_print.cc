@@ -1,0 +1,24 @@
+// Fixture: raw console output inside a simulator component.  Components
+// must stay silent — reporting goes through obs::Report / the metrics
+// registry — so every one of these lines must trip the raw-print rule.
+#include <cstdio>
+#include <iostream>
+
+namespace netstore::fsx {
+
+void debug_dump(int inode) {
+  std::printf("inode %d\n", inode);              // BAD: raw-print
+  printf("inode %d again\n", inode);             // BAD: raw-print
+  std::fprintf(stderr, "oops %d\n", inode);      // BAD: raw-print
+  std::cout << "inode " << inode << "\n";        // BAD: raw-print
+  std::cerr << "warn " << inode << "\n";         // BAD: raw-print
+  std::clog << "log " << inode << "\n";          // BAD: raw-print
+}
+
+void check_failure_path(int inode) {
+  // Suppressed: diagnostics on the way to abort() are legitimate.
+  // netstore-lint: allow(raw-print) -- CHECK-failure diagnostic
+  std::fprintf(stderr, "fatal: inode %d\n", inode);
+}
+
+}  // namespace netstore::fsx
