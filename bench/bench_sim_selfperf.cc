@@ -1,0 +1,247 @@
+// bench_sim_selfperf: wall-clock throughput of the simulator itself.
+//
+// Unlike the paper benches (which measure *virtual* time), this one times
+// the simulator's own hot loops with the host clock:
+//
+//   events/sec    a self-rescheduling daemon workload drained through the
+//                 event loop.  Run twice: once on the current engine
+//                 (sim::Task + 4-ary heap) and once on an embedded copy of
+//                 the pre-overhaul engine (std::function + std::priority_
+//                 queue with copy-before-pop), so the speedup is measured,
+//                 not asserted.
+//   syscalls/sec  warm-cache reads driven through a full Testbed VFS stack
+//                 (protocol, caches, RAID — the end-to-end per-op cost).
+//
+//   bench_sim_selfperf [--events N] [--syscalls N] [--json PATH]
+//                      [--min-events-per-sec X]
+//
+// --min-events-per-sec makes the binary a CI gate: exit 1 if the current
+// engine's events/sec lands under the floor.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/testbed.h"
+#include "obs/report.h"
+#include "sim/env.h"
+#include "sim/task.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// --- the pre-overhaul event engine, embedded as the baseline -------------
+//
+// Verbatim shape of sim::Env before the hot-path overhaul: type-erased
+// std::function callbacks in a std::priority_queue, with the documented
+// copy-before-pop ("the callback may schedule new events").  Kept here so
+// the before/after numbers in EXPERIMENTS.md regenerate from one binary.
+class LegacyEnv {
+ public:
+  [[nodiscard]] netstore::sim::Time now() const { return now_; }
+
+  void schedule_at(netstore::sim::Time at, std::function<void()> fn) {
+    queue_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+  void schedule_after(netstore::sim::Duration after,
+                      std::function<void()> fn) {
+    schedule_at(now_ + after, std::move(fn));
+  }
+
+  void drain() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();  // copy: top() is const&, fn is copied
+      queue_.pop();
+      if (ev.at > now_) now_ = ev.at;
+      ev.fn();
+    }
+  }
+
+ private:
+  struct Event {
+    netstore::sim::Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  netstore::sim::Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// --- events/sec ----------------------------------------------------------
+//
+// `chains` concurrent daemons, each rescheduling itself at a staggered
+// period until the shared budget runs out — the flusher/journal/lease
+// pattern that dominates real runs.  The capture mirrors an I/O
+// completion closure (context pointers plus a file handle and offset):
+// 40 bytes, exactly sim::Task's inline storage, while under LegacyEnv
+// every schedule heap-allocates and every dispatch copy-clones it.
+template <typename EnvT>
+struct Tick {
+  EnvT* env;
+  std::uint64_t* remaining;
+  std::uint64_t period;
+  std::uint64_t fh;      // completion payload: file handle...
+  std::uint64_t offset;  // ...and byte offset
+
+  void operator()() const {
+    if (*remaining == 0) return;
+    --*remaining;
+    env->schedule_after(period,
+                        Tick{env, remaining, period, fh + 1, offset ^ fh});
+  }
+};
+
+template <typename EnvT>
+double events_per_sec(std::uint64_t total_events, int chains) {
+  EnvT env;
+  std::uint64_t remaining = total_events;
+  for (int i = 0; i < chains; ++i) {
+    const auto u = static_cast<std::uint64_t>(i);
+    env.schedule_after(i + 1,
+                       Tick<EnvT>{&env, &remaining, u % 7 + 1, u, u * 4096});
+  }
+  const auto t0 = Clock::now();
+  env.drain();
+  const double dt = seconds_since(t0);
+  return static_cast<double>(total_events + chains) / dt;
+}
+
+// --- syscalls/sec --------------------------------------------------------
+
+double syscalls_per_sec(netstore::core::Protocol proto, std::uint64_t ops) {
+  netstore::core::Testbed bed(proto);
+  constexpr std::uint32_t kFileBytes = 64 * 1024;
+  constexpr std::uint32_t kReadBytes = 4 * 1024;
+
+  auto fd = bed.vfs().creat("/hot", 0644);
+  if (!fd.ok()) std::abort();
+  std::vector<std::uint8_t> buf(kFileBytes, 0x5a);
+  if (!bed.vfs().write(*fd, 0, buf).ok()) std::abort();
+  if (!bed.vfs().fsync(*fd).ok()) std::abort();
+
+  std::vector<std::uint8_t> rd(kReadBytes);
+  (void)bed.vfs().read(*fd, 0, rd);  // warm the cache stack
+
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const std::uint64_t off = (i % (kFileBytes / kReadBytes)) * kReadBytes;
+    if (!bed.vfs().read(*fd, off, rd).ok()) std::abort();
+  }
+  const double dt = seconds_since(t0);
+  (void)bed.vfs().close(*fd);
+  return static_cast<double>(ops) / dt;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--events N] [--syscalls N] [--json PATH] "
+               "[--min-events-per-sec X]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t n_events = 2'000'000;
+  std::uint64_t n_syscalls = 200'000;
+  // Default daemon count matches reality: the hybrid simulation style
+  // keeps the pending-event queue shallow (instrumented Testbed runs hold
+  // ~2 events — flusher tick + journal commit), so 4 concurrent chains is
+  // already generous.  --chains explores deeper queues.
+  int chains = 4;
+  std::string json_path;
+  double min_events_per_sec = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--events" && has_value) {
+      n_events = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--chains" && has_value) {
+      chains = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (chains < 1) chains = 1;
+    } else if (arg == "--syscalls" && has_value) {
+      n_syscalls = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--json" && has_value) {
+      json_path = argv[++i];
+    } else if (arg == "--min-events-per-sec" && has_value) {
+      min_events_per_sec = std::strtod(argv[++i], nullptr);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const int kChains = chains;
+  const std::uint64_t inline_before =
+      netstore::sim::Task::inline_constructions();
+  const std::uint64_t heap_before = netstore::sim::Task::heap_constructions();
+
+  const double current = events_per_sec<netstore::sim::Env>(n_events, kChains);
+  const std::uint64_t inline_delta =
+      netstore::sim::Task::inline_constructions() - inline_before;
+  const std::uint64_t heap_delta =
+      netstore::sim::Task::heap_constructions() - heap_before;
+
+  const double legacy = events_per_sec<LegacyEnv>(n_events, kChains);
+  const double speedup = legacy > 0 ? current / legacy : 0.0;
+
+  const double sys_iscsi =
+      syscalls_per_sec(netstore::core::Protocol::kIscsi, n_syscalls);
+  const double sys_nfsv3 =
+      syscalls_per_sec(netstore::core::Protocol::kNfsV3, n_syscalls);
+
+  std::printf("%-24s %16s\n", "metric", "per second");
+  std::printf("%-24s %16.0f\n", "events (current)", current);
+  std::printf("%-24s %16.0f\n", "events (legacy)", legacy);
+  std::printf("%-24s %16.2f\n", "events speedup", speedup);
+  std::printf("%-24s %16.0f\n", "syscalls (iSCSI warm)", sys_iscsi);
+  std::printf("%-24s %16.0f\n", "syscalls (NFSv3 warm)", sys_nfsv3);
+  std::printf("task inline/heap constructions: %llu / %llu\n",
+              static_cast<unsigned long long>(inline_delta),
+              static_cast<unsigned long long>(heap_delta));
+
+  if (!json_path.empty()) {
+    netstore::obs::Report report("bench_sim_selfperf",
+                                 "simulator hot-path wall-clock throughput");
+    auto& t = report.table(
+        "selfperf", {"benchmark", "engine", "ops", "ops_per_sec"});
+    t.row({"events", "current", n_events + kChains, current});
+    t.row({"events", "legacy", n_events + kChains, legacy});
+    t.row({"syscalls_iscsi_warm", "current", n_syscalls, sys_iscsi});
+    t.row({"syscalls_nfsv3_warm", "current", n_syscalls, sys_nfsv3});
+    auto& s = report.table("task_storage", {"counter", "value"});
+    s.row({"inline_constructions", inline_delta});
+    s.row({"heap_constructions", heap_delta});
+    s.row({"events_speedup_x", speedup});
+    if (!netstore::obs::Report::write_file(json_path, report.json())) {
+      return 1;
+    }
+  }
+
+  if (min_events_per_sec > 0 && current < min_events_per_sec) {
+    std::fprintf(stderr,
+                 "FAIL: events/sec %.0f below floor %.0f\n", current,
+                 min_events_per_sec);
+    return 1;
+  }
+  return 0;
+}

@@ -26,4 +26,33 @@ using BlockView = std::span<const std::uint8_t, kBlockSize>;
 /// Mutable view of exactly one block.
 using MutBlockView = std::span<std::uint8_t, kBlockSize>;
 
+/// A scatter-gather write payload: one BlockView per block, consecutive
+/// views landing on consecutive LBAs.  Lets the caches hand their resident
+/// pages straight to the device without staging them into one contiguous
+/// buffer first.
+using FragSpan = std::span<const BlockView>;
+
+/// Uniform whole-block access over either payload shape (contiguous
+/// buffer or per-block fragments), so block-granular consumers like the
+/// RAID layer implement their write path once.  Non-owning; valid only
+/// while the underlying buffer/views live.
+class BlockSource {
+ public:
+  explicit BlockSource(std::span<const std::uint8_t> contig)
+      : contig_(contig.data()) {}
+  explicit BlockSource(FragSpan frags) : frags_(frags.data()) {}
+
+  /// View of the i-th block of the payload.
+  [[nodiscard]] BlockView block(std::size_t i) const {
+    if (contig_ != nullptr) {
+      return BlockView{contig_ + i * kBlockSize, kBlockSize};
+    }
+    return frags_[i];
+  }
+
+ private:
+  const std::uint8_t* contig_ = nullptr;
+  const BlockView* frags_ = nullptr;
+};
+
 }  // namespace netstore::block

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "block/block.h"
 #include "sim/time.h"
@@ -37,6 +39,19 @@ class BlockDevice {
   /// Writes `nblocks` at `lba`.
   virtual void write(Lba lba, std::uint32_t nblocks,
                      std::span<const std::uint8_t> data, WriteMode mode) = 0;
+
+  /// Scatter-gather write: frags[i] lands on lba + i.  One device request,
+  /// same timing and durability semantics as write().  The default
+  /// implementation stages the fragments into a contiguous buffer;
+  /// devices on the hot write-back path override it to consume the
+  /// fragments in place.
+  virtual void write_gather(Lba lba, FragSpan frags, WriteMode mode) {
+    std::vector<std::uint8_t> buf(frags.size() * kBlockSize);
+    for (std::size_t i = 0; i < frags.size(); ++i) {
+      std::memcpy(buf.data() + i * kBlockSize, frags[i].data(), kBlockSize);
+    }
+    write(lba, static_cast<std::uint32_t>(frags.size()), buf, mode);
+  }
 
   /// Blocks until every previously issued write is durable.
   virtual void flush() = 0;

@@ -38,17 +38,12 @@ class LocalBlockDevice final : public BlockDevice {
 
   void write(Lba lba, std::uint32_t nblocks,
              std::span<const std::uint8_t> data, WriteMode mode) override {
-    const sim::Time done = array_.write(env_.now(), lba, nblocks, data);
-    last_write_done_ = std::max(last_write_done_, done);
-    if (mode == WriteMode::kSync) {
-      if (nvram_ack_ > 0) {
-        charge_media(nvram_ack_);
-        env_.advance(nvram_ack_);  // durable in controller NVRAM
-      } else {
-        charge_media(done - env_.now());
-        env_.advance_to(done);
-      }
-    }
+    finish_write(array_.write(env_.now(), lba, nblocks, data), mode);
+  }
+
+  void write_gather(Lba lba, FragSpan frags, WriteMode mode) override {
+    // Zero-copy: the array consumes the fragments in place.
+    finish_write(array_.write_frags(env_.now(), lba, frags), mode);
   }
 
   void flush() override {
@@ -70,6 +65,19 @@ class LocalBlockDevice final : public BlockDevice {
   void drain_to_media() { env_.advance_to(last_write_done_); }
 
  private:
+  void finish_write(sim::Time done, WriteMode mode) {
+    last_write_done_ = std::max(last_write_done_, done);
+    if (mode == WriteMode::kSync) {
+      if (nvram_ack_ > 0) {
+        charge_media(nvram_ack_);
+        env_.advance(nvram_ack_);  // durable in controller NVRAM
+      } else {
+        charge_media(done - env_.now());
+        env_.advance_to(done);
+      }
+    }
+  }
+
   /// Media time the caller is about to wait out (trace attribution).
   void charge_media(sim::Duration d) {
     if (auto* tr = env_.tracer(); tr != nullptr && d > 0) {

@@ -113,6 +113,16 @@ sim::Time Raid5Array::read(sim::Time start, Lba lba, std::uint32_t nblocks,
 sim::Time Raid5Array::write(sim::Time start, Lba lba, std::uint32_t nblocks,
                             std::span<const std::uint8_t> data) {
   NETSTORE_CHECK_GE(data.size(), static_cast<std::size_t>(nblocks) * kBlockSize);
+  return write_impl(start, lba, nblocks, BlockSource(data));
+}
+
+sim::Time Raid5Array::write_frags(sim::Time start, Lba lba, FragSpan frags) {
+  return write_impl(start, lba, static_cast<std::uint32_t>(frags.size()),
+                    BlockSource(frags));
+}
+
+sim::Time Raid5Array::write_impl(sim::Time start, Lba lba,
+                                 std::uint32_t nblocks, BlockSource src) {
   NETSTORE_CHECK_LE(lba + nblocks, logical_blocks_);
   const std::uint64_t data_disks = config_.num_disks - 1;
   const std::uint64_t stripe_logical = config_.stripe_unit_blocks * data_disks;
@@ -135,9 +145,7 @@ sim::Time Raid5Array::write(sim::Time start, Lba lba, std::uint32_t nblocks,
         for (std::uint32_t u = 0; u < data_disks; ++u) {
           const Lba logical =
               stripe_begin + u * config_.stripe_unit_blocks + off;
-          const std::size_t data_off =
-              static_cast<std::size_t>(logical - lba) * kBlockSize;
-          BlockView view{data.data() + data_off, kBlockSize};
+          const BlockView view = src.block(logical - lba);
           const Mapping m = map(logical);
           if (static_cast<int>(m.data_disk) != failed_disk_) {
             disks_[m.data_disk]->write_data(m.physical_lba, view);
@@ -164,8 +172,7 @@ sim::Time Raid5Array::write(sim::Time start, Lba lba, std::uint32_t nblocks,
 
     // Partial-stripe block: read-modify-write on data + parity spindles.
     const Mapping m = map(cur);
-    BlockView new_data{data.data() + static_cast<std::size_t>(i) * kBlockSize,
-                       kBlockSize};
+    const BlockView new_data = src.block(i);
     BlockBuf old_data;
     read_block_data(m, old_data);
 

@@ -51,6 +51,11 @@ class Raid5Array {
   sim::Time write(sim::Time start, Lba lba, std::uint32_t nblocks,
                   std::span<const std::uint8_t> data);
 
+  /// Scatter-gather variant: frags[i] lands on lba + i.  Identical timing
+  /// and parity behaviour to write() — the array is block-granular, so the
+  /// payload shape is irrelevant to the model.
+  sim::Time write_frags(sim::Time start, Lba lba, FragSpan frags);
+
   /// Marks a member disk failed (its contents become unreadable).
   void fail_disk(std::uint32_t index);
 
@@ -80,6 +85,8 @@ class Raid5Array {
     std::uint64_t stripe;
   };
 
+  sim::Time write_impl(sim::Time start, Lba lba, std::uint32_t nblocks,
+                       BlockSource src);
   [[nodiscard]] Mapping map(Lba logical) const;
   [[nodiscard]] std::uint32_t data_disk_for(std::uint64_t stripe,
                                             std::uint32_t unit_index) const;

@@ -20,28 +20,30 @@ TimedCache::TimedCache(Raid5Array& array, std::uint64_t capacity_blocks,
 void TimedCache::insert(sim::Time start, Lba lba, BlockView data, bool dirty) {
   while (map_.size() >= capacity_) {
     // Evict coldest clean block; write back coldest dirty if none clean.
-    bool evicted = false;
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      if (!it->dirty) {
-        map_.erase(it->lba);
-        lru_.erase(std::next(it).base());
-        evicted = true;
+    Entry* victim = nullptr;
+    for (Entry* e = lru_.back(); e != nullptr; e = lru_.warmer(e)) {
+      if (!e->dirty) {
+        victim = e;
         break;
       }
     }
-    if (!evicted) {
-      Entry& victim = lru_.back();
-      array_.write(start, victim.lba, 1,
-                   std::span<const std::uint8_t>{victim.data->data(),
+    if (victim == nullptr) {
+      victim = lru_.back();
+      array_.write(start, victim->lba, 1,
+                   std::span<const std::uint8_t>{victim->data->data(),
                                                  kBlockSize});
       dirty_count_--;
-      map_.erase(victim.lba);
-      lru_.pop_back();
     }
+    lru_.unlink(victim);
+    const Lba victim_lba = victim->lba;  // copy: erase destroys the node
+    map_.erase(victim_lba);
   }
-  lru_.push_front(Entry{lba, std::make_unique<BlockBuf>(), dirty});
-  std::memcpy(lru_.front().data->data(), data.data(), kBlockSize);
-  map_[lba] = lru_.begin();
+  Entry& e = map_[lba];
+  e.lba = lba;
+  e.data = std::make_unique<BlockBuf>();
+  std::memcpy(e.data->data(), data.data(), kBlockSize);
+  e.dirty = dirty;
+  lru_.push_front(&e);
   if (dirty) dirty_count_++;
 }
 
@@ -53,8 +55,8 @@ sim::Time TimedCache::read(sim::Time start, Lba lba, std::uint32_t nblocks,
     auto it = map_.find(lba + i);
     if (it != map_.end()) {
       hits_.add(1);
-      lru_.splice(lru_.begin(), lru_, it->second);
-      std::memcpy(dst, it->second->data->data(), kBlockSize);
+      lru_.touch(&it->second);
+      std::memcpy(dst, it->second.data->data(), kBlockSize);
       continue;
     }
     // Coalesce the contiguous miss run into one array read.
@@ -82,20 +84,29 @@ sim::Time TimedCache::read(sim::Time start, Lba lba, std::uint32_t nblocks,
 
 sim::Time TimedCache::write(sim::Time start, Lba lba, std::uint32_t nblocks,
                             std::span<const std::uint8_t> data) {
+  return write_impl(start, lba, nblocks, BlockSource(data));
+}
+
+sim::Time TimedCache::write_frags(sim::Time start, Lba lba, FragSpan frags) {
+  return write_impl(start, lba, static_cast<std::uint32_t>(frags.size()),
+                    BlockSource(frags));
+}
+
+sim::Time TimedCache::write_impl(sim::Time start, Lba lba,
+                                 std::uint32_t nblocks, BlockSource src) {
   for (std::uint32_t i = 0; i < nblocks; ++i) {
-    BlockView src{data.data() + static_cast<std::size_t>(i) * kBlockSize,
-                  kBlockSize};
+    const BlockView block = src.block(i);
     auto it = map_.find(lba + i);
     if (it != map_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      Entry& e = *it->second;
-      std::memcpy(e.data->data(), src.data(), kBlockSize);
+      lru_.touch(&it->second);
+      Entry& e = it->second;
+      std::memcpy(e.data->data(), block.data(), kBlockSize);
       if (!e.dirty) {
         e.dirty = true;
         dirty_count_++;
       }
     } else {
-      insert(start, lba + i, src, /*dirty=*/true);
+      insert(start, lba + i, block, /*dirty=*/true);
     }
   }
   if (dirty_count_ > dirty_high_water_) {
@@ -107,31 +118,31 @@ sim::Time TimedCache::write(sim::Time start, Lba lba, std::uint32_t nblocks,
 sim::Time TimedCache::writeback_down_to(sim::Time start,
                                         std::uint64_t target_dirty) {
   // Gather dirty blocks in LBA order so the array sees sequential runs.
-  std::vector<LruList::iterator> dirty;
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    if (it->dirty) dirty.push_back(it);
+  std::vector<Entry*> dirty;
+  for (Entry* e = lru_.front(); e != nullptr; e = lru_.colder(e)) {
+    if (e->dirty) dirty.push_back(e);
   }
   std::sort(dirty.begin(), dirty.end(),
-            [](const auto& a, const auto& b) { return a->lba < b->lba; });
+            [](const Entry* a, const Entry* b) { return a->lba < b->lba; });
 
   sim::Time done = start;
+  std::vector<BlockView> frags;
   std::size_t i = 0;
   while (i < dirty.size() && dirty_count_ > target_dirty) {
-    // Coalesce a contiguous run into one array write.
+    // Coalesce a contiguous run into one scatter-gather array write — the
+    // cached blocks go straight to the array, no staging copy.
     std::size_t run = 1;
     while (i + run < dirty.size() &&
            dirty[i + run]->lba == dirty[i]->lba + run) {
       run++;
     }
-    std::vector<std::uint8_t> buf(run * kBlockSize);
+    frags.clear();
     for (std::size_t j = 0; j < run; ++j) {
-      std::memcpy(buf.data() + j * kBlockSize, dirty[i + j]->data->data(),
-                  kBlockSize);
+      frags.push_back(BlockView{*dirty[i + j]->data});
       dirty[i + j]->dirty = false;
       dirty_count_--;
     }
-    done = std::max(done, array_.write(start, dirty[i]->lba,
-                                       static_cast<std::uint32_t>(run), buf));
+    done = std::max(done, array_.write_frags(start, dirty[i]->lba, frags));
     i += run;
   }
   return done;
@@ -149,14 +160,14 @@ sim::Time TimedCache::sync(sim::Time start) {
 
 void TimedCache::restart() {
   sync(0);
-  lru_.clear();
   map_.clear();
+  lru_.reset();
   dirty_count_ = 0;
 }
 
 void TimedCache::crash() {
-  lru_.clear();
   map_.clear();
+  lru_.reset();
   dirty_count_ = 0;
 }
 

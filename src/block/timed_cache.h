@@ -9,13 +9,13 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <span>
 #include <unordered_map>
 
 #include "block/block.h"
 #include "block/raid5.h"
+#include "core/intrusive_lru.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 
@@ -39,6 +39,11 @@ class TimedCache {
   /// write-back whose disk time is accounted but not waited on.
   sim::Time write(sim::Time start, Lba lba, std::uint32_t nblocks,
                   std::span<const std::uint8_t> data);
+
+  /// Scatter-gather variant: frags[i] lands on lba + i.  Same semantics
+  /// as write(); lets the target consume reassembled PDU payloads without
+  /// staging them into one contiguous buffer.
+  sim::Time write_frags(sim::Time start, Lba lba, FragSpan frags);
 
   /// Makes everything durable: writes back all dirty blocks; returns the
   /// completion time of the last array write.
@@ -65,20 +70,24 @@ class TimedCache {
 
  private:
   struct Entry {
-    Lba lba;
+    Entry* lru_prev = nullptr;  // intrusive LRU links (core::LruList)
+    Entry* lru_next = nullptr;
+    Lba lba = 0;
     std::unique_ptr<BlockBuf> data;
     bool dirty = false;
   };
-  using LruList = std::list<Entry>;
 
   void insert(sim::Time start, Lba lba, BlockView data, bool dirty);
+  sim::Time write_impl(sim::Time start, Lba lba, std::uint32_t nblocks,
+                       BlockSource src);
   sim::Time writeback_down_to(sim::Time start, std::uint64_t target_dirty);
 
   Raid5Array& array_;
   std::uint64_t capacity_;
   std::uint64_t dirty_high_water_;
-  LruList lru_;
-  std::unordered_map<Lba, LruList::iterator> map_;
+  // LRU links live inside the map nodes (see core/intrusive_lru.h).
+  std::unordered_map<Lba, Entry> map_;
+  core::LruList<Entry> lru_;
   std::uint64_t dirty_count_ = 0;
   sim::Counter hits_;
   sim::Counter misses_;

@@ -11,43 +11,49 @@ Bcache::Bcache(block::BlockDevice& dev, std::uint64_t capacity_blocks)
 
 Bcache::Entry& Bcache::insert(block::Lba lba, bool read_from_device) {
   maybe_evict();
-  lru_.push_front(Entry{lba, std::make_unique<block::BlockBuf>()});
-  const auto it = lru_.begin();
+  Entry& e = map_[lba];
+  e.lba = lba;
+  e.buf = std::make_unique<block::BlockBuf>();
   // Register before the device read: the read advances the clock, which
   // may fire daemons that re-enter this cache; they must see a stable
   // map/LRU.  The entry is pinned (`loading`) until the data is in.
-  map_[lba] = it;
+  lru_.push_front(&e);
   if (read_from_device) {
-    it->loading = true;
+    e.loading = true;
     dev_.read(lba, 1,
-              std::span<std::uint8_t>{it->buf->data(), block::kBlockSize});
-    it->loading = false;
+              std::span<std::uint8_t>{e.buf->data(), block::kBlockSize});
+    e.loading = false;
   } else {
-    it->buf->fill(0);
+    e.buf->fill(0);
   }
-  return *it;
+  return e;
 }
 
 void Bcache::maybe_evict() {
   while (map_.size() >= capacity_) {
     // Evict the coldest clean block; dirty blocks are pinned, so if all
     // are dirty, checkpoint the coldest to free it.
-    bool evicted = false;
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      if (!it->dirty && !it->loading) {
-        map_.erase(it->lba);
-        lru_.erase(std::next(it).base());
-        evicted = true;
+    Entry* victim = nullptr;
+    for (Entry* e = lru_.back(); e != nullptr; e = lru_.warmer(e)) {
+      if (!e->dirty && !e->loading) {
+        victim = e;
         break;
       }
     }
-    if (!evicted) {
-      Entry& victim = lru_.back();
-      if (victim.loading) return;  // everything pinned; grow past capacity
-      checkpoint(victim.lba, block::WriteMode::kAsync);
-      map_.erase(victim.lba);
-      lru_.pop_back();
+    if (victim == nullptr) {
+      victim = lru_.back();
+      if (victim->loading) return;  // everything pinned; grow past capacity
+      const block::Lba lba = victim->lba;
+      // The device write may advance the clock and re-enter this cache;
+      // re-find the victim afterwards in case that activity evicted it.
+      checkpoint(lba, block::WriteMode::kAsync);
+      auto it = map_.find(lba);
+      if (it == map_.end()) continue;
+      victim = &it->second;
     }
+    lru_.unlink(victim);
+    const block::Lba lba = victim->lba;  // copy: erase destroys the node
+    map_.erase(lba);
   }
 }
 
@@ -55,8 +61,8 @@ block::BlockBuf& Bcache::get(block::Lba lba) {
   auto it = map_.find(lba);
   if (it != map_.end()) {
     hits_.add(1);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return *lru_.front().buf;
+    lru_.touch(&it->second);
+    return *it->second.buf;
   }
   misses_.add(1);
   return *insert(lba, /*read_from_device=*/true).buf;
@@ -65,9 +71,9 @@ block::BlockBuf& Bcache::get(block::Lba lba) {
 block::BlockBuf& Bcache::get_new(block::Lba lba) {
   auto it = map_.find(lba);
   if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    lru_.front().buf->fill(0);
-    return *lru_.front().buf;
+    lru_.touch(&it->second);
+    it->second.buf->fill(0);
+    return *it->second.buf;
   }
   return *insert(lba, /*read_from_device=*/false).buf;
 }
@@ -75,21 +81,21 @@ block::BlockBuf& Bcache::get_new(block::Lba lba) {
 void Bcache::mark_dirty(block::Lba lba) {
   auto it = map_.find(lba);
   NETSTORE_CHECK(it != map_.end(), "mark_dirty of a block not in cache");
-  if (!it->second->dirty) {
-    it->second->dirty = true;
+  if (!it->second.dirty) {
+    it->second.dirty = true;
     dirty_count_++;
   }
 }
 
 bool Bcache::is_dirty(block::Lba lba) const {
   auto it = map_.find(lba);
-  return it != map_.end() && it->second->dirty;
+  return it != map_.end() && it->second.dirty;
 }
 
 void Bcache::checkpoint(block::Lba lba, block::WriteMode mode) {
   auto it = map_.find(lba);
-  if (it == map_.end() || !it->second->dirty) return;
-  Entry& e = *it->second;
+  if (it == map_.end() || !it->second.dirty) return;
+  Entry& e = it->second;
   dev_.write(lba, 1,
              std::span<const std::uint8_t>{e.buf->data(), block::kBlockSize},
              mode);
@@ -99,20 +105,20 @@ void Bcache::checkpoint(block::Lba lba, block::WriteMode mode) {
 
 void Bcache::note_checkpointed(block::Lba lba) {
   auto it = map_.find(lba);
-  if (it == map_.end() || !it->second->dirty) return;
-  it->second->dirty = false;
+  if (it == map_.end() || !it->second.dirty) return;
+  it->second.dirty = false;
   dirty_count_--;
 }
 
 void Bcache::drop_clean_all() {
   NETSTORE_CHECK_EQ(dirty_count_, 0u, "dropping cache with dirty blocks");
-  lru_.clear();
   map_.clear();
+  lru_.reset();
 }
 
 void Bcache::crash() {
-  lru_.clear();
   map_.clear();
+  lru_.reset();
   dirty_count_ = 0;
 }
 

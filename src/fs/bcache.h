@@ -12,11 +12,11 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <unordered_map>
 
 #include "block/device.h"
+#include "core/intrusive_lru.h"
 #include "sim/stats.h"
 
 namespace netstore::fs {
@@ -65,7 +65,9 @@ class Bcache {
 
  private:
   struct Entry {
-    block::Lba lba;
+    Entry* lru_prev = nullptr;  // intrusive LRU links (core::LruList)
+    Entry* lru_next = nullptr;
+    block::Lba lba = 0;
     std::unique_ptr<block::BlockBuf> buf;
     bool dirty = false;
     // Set while the buffer is being filled from the device.  The device
@@ -74,15 +76,17 @@ class Bcache {
     // under the foot of its in-flight insert().
     bool loading = false;
   };
-  using Lru = std::list<Entry>;
 
   Entry& insert(block::Lba lba, bool read_from_device);
   void maybe_evict();
 
   block::BlockDevice& dev_;
   std::uint64_t capacity_;
-  Lru lru_;  // front = most recently used
-  std::unordered_map<block::Lba, Lru::iterator> map_;
+  // LRU links live inside the map nodes (address-stable): one allocation
+  // per entry, one hash lookup per touch, references stable across
+  // re-entrant inserts exactly as with the old iterator-list design.
+  std::unordered_map<block::Lba, Entry> map_;
+  core::LruList<Entry> lru_;  // front = most recently used
   std::uint64_t dirty_count_ = 0;
   sim::Counter hits_;
   sim::Counter misses_;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include "core/check.h"
 #include <cstring>
-#include <vector>
 
 namespace netstore::fs {
 
@@ -16,7 +15,7 @@ PageCache::PageCache(sim::Env& env, block::BlockDevice& dev,
 PageCache::Page* PageCache::lookup(Ino ino, std::uint64_t index) {
   auto it = pages_.find(Key{ino, index});
   if (it == pages_.end()) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  lru_.touch(&it->second);
   return &it->second;
 }
 
@@ -24,12 +23,12 @@ PageCache::Page& PageCache::emplace(Ino ino, std::uint64_t index,
                                     block::Lba lba) {
   evict_if_needed();
   const Key key{ino, index};
-  lru_.push_front(key);
   Page& p = pages_[key];
+  p.key = key;
   p.data = std::make_unique<block::BlockBuf>();
   p.data->fill(0);
   p.lba = lba;
-  p.lru_pos = lru_.begin();
+  lru_.push_front(&p);
   return p;
 }
 
@@ -37,18 +36,18 @@ void PageCache::evict_if_needed() {
   while (pages_.size() >= params_.capacity_pages) {
     // Coldest clean page goes first; if everything is dirty, write back
     // the aged pages and retry.
-    bool evicted = false;
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      auto pit = pages_.find(*it);
-      NETSTORE_CHECK(pit != pages_.end());
-      if (!pit->second.dirty) {
-        lru_.erase(std::next(it).base());
-        pages_.erase(pit);
-        evicted = true;
+    Page* victim = nullptr;
+    for (Page* p = lru_.back(); p != nullptr; p = lru_.warmer(p)) {
+      if (!p->dirty) {
+        victim = p;
         break;
       }
     }
-    if (!evicted) {
+    if (victim != nullptr) {
+      lru_.unlink(victim);
+      const Key key = victim->key;  // copy: erase destroys the node
+      pages_.erase(key);
+    } else {
       writeback(nullptr);  // everything; then the loop evicts clean pages
     }
   }
@@ -100,36 +99,38 @@ block::BlockBuf& PageCache::write_page(Ino ino, std::uint64_t index,
   return *p.data;
 }
 
-void PageCache::writeback(
-    const std::function<bool(const Key&, const Page&)>& pred) {
+void PageCache::writeback(sim::FuncRef<bool(const Key&, const Page&)> pred) {
   // Collect dirty pages, sort by LBA, coalesce contiguous runs into large
   // device writes (this is where iSCSI's big write requests come from).
-  std::vector<std::pair<block::Lba, Page*>> victims;
+  // Locals, not members: an async device write may advance the clock and
+  // dispatch a flusher tick that re-enters writeback.
+  std::vector<Page*> victims;
   // netstore-lint: allow(unordered-iter) -- victims are sorted by LBA below
   for (auto& [key, page] : pages_) {
     if (page.dirty && (!pred || pred(key, page))) {
-      victims.emplace_back(page.lba, &page);
+      victims.push_back(&page);
     }
   }
   std::sort(victims.begin(), victims.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+            [](const Page* a, const Page* b) { return a->lba < b->lba; });
 
+  std::vector<block::BlockView> frags;
   std::size_t i = 0;
   while (i < victims.size()) {
     std::size_t run = 1;
     while (i + run < victims.size() &&
-           victims[i + run].first == victims[i].first + run) {
+           victims[i + run]->lba == victims[i]->lba + run) {
       run++;
     }
-    std::vector<std::uint8_t> buf(run * kBlockSize);
+    // Hand the resident pages to the device as one scatter-gather request;
+    // no staging copy, still one coalesced device write per run.
+    frags.clear();
     for (std::size_t j = 0; j < run; ++j) {
-      std::memcpy(buf.data() + j * kBlockSize, victims[i + j].second->data->data(),
-                  kBlockSize);
-      victims[i + j].second->dirty = false;
+      frags.push_back(block::BlockView{*victims[i + j]->data});
+      victims[i + j]->dirty = false;
       dirty_count_--;
     }
-    dev_.write(victims[i].first, static_cast<std::uint32_t>(run), buf,
-               block::WriteMode::kAsync);
+    dev_.write_gather(victims[i]->lba, frags, block::WriteMode::kAsync);
     stats_.writeback_pages.add(run);
     i += run;
   }
@@ -156,7 +157,7 @@ void PageCache::drop_inode(Ino ino, std::uint64_t from_index) {
   for (auto it = pages_.begin(); it != pages_.end();) {
     if (it->first.ino == ino && it->first.index >= from_index) {
       if (it->second.dirty) dirty_count_--;
-      lru_.erase(it->second.lru_pos);
+      lru_.unlink(&it->second);
       it = pages_.erase(it);
     } else {
       ++it;
@@ -178,7 +179,7 @@ void PageCache::clear() {
   stopped_ = true;
   flush_all(true);
   pages_.clear();
-  lru_.clear();
+  lru_.reset();
   dirty_count_ = 0;
   stopped_ = false;
 }
@@ -186,7 +187,7 @@ void PageCache::clear() {
 void PageCache::crash() {
   stopped_ = true;
   pages_.clear();
-  lru_.clear();
+  lru_.reset();
   dirty_count_ = 0;
   stopped_ = false;
 }

@@ -7,18 +7,24 @@
 //
 // Pages remember the disk block they map to (assigned by the file system
 // at insertion), so write-back needs no callback into the FS.
+//
+// Hot-path layout: the LRU links live inside the map node (see
+// core/intrusive_lru.h) — one allocation per page, one hash lookup per
+// touch — and write-back hands resident pages to the device as
+// scatter-gather fragments instead of staging them into a bounce buffer.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <list>
-#include <map>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "block/device.h"
+#include "core/intrusive_lru.h"
 #include "sim/env.h"
+#include "sim/rng.h"
 #include "sim/stats.h"
+#include "sim/task.h"
 #include "fs/types.h"
 
 namespace netstore::fs {
@@ -87,25 +93,30 @@ class PageCache {
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const {
-      return std::hash<std::uint64_t>()(k.ino * 0x9E3779B97F4A7C15ull ^
-                                        k.index);
+      // Full splitmix64 mix of both words.  A plain multiply-XOR left the
+      // index's low bits unmixed, so consecutive pages of one inode filled
+      // consecutive buckets and collided with other inodes' runs.
+      return static_cast<std::size_t>(
+          sim::mix64(k.ino ^ sim::mix64(k.index)));
     }
   };
   struct Page {
+    Page* lru_prev = nullptr;  // intrusive LRU links (core::LruList)
+    Page* lru_next = nullptr;
+    Key key{};                 // owning map key, for erase via LRU walk
     std::unique_ptr<block::BlockBuf> data;
     block::Lba lba = 0;
     bool dirty = false;
     sim::Time ready_at = 0;     // read-ahead completion
     sim::Time dirty_since = 0;  // first dirtying in this epoch
-    std::list<Key>::iterator lru_pos;
   };
 
   Page* lookup(Ino ino, std::uint64_t index);
   Page& emplace(Ino ino, std::uint64_t index, block::Lba lba);
   void evict_if_needed();
-  /// Writes dirty pages selected by `pred` (nullptr = all), coalescing
-  /// LBA-contiguous runs; async device writes.
-  void writeback(const std::function<bool(const Key&, const Page&)>& pred);
+  /// Writes dirty pages selected by `pred` (null = all), coalescing
+  /// LBA-contiguous runs into scatter-gather device writes; async.
+  void writeback(sim::FuncRef<bool(const Key&, const Page&)> pred);
   void schedule_flusher();
 
   sim::Env& env_;
@@ -115,7 +126,7 @@ class PageCache {
   // (remount destroys the cache while events may still be queued).
   std::shared_ptr<int> alive_ = std::make_shared<int>(0);
   std::unordered_map<Key, Page, KeyHash> pages_;
-  std::list<Key> lru_;  // front = most recent
+  core::LruList<Page> lru_;  // front = most recent
   std::uint64_t dirty_count_ = 0;
   bool flusher_scheduled_ = false;
   bool stopped_ = false;

@@ -88,7 +88,8 @@ sim::Time Initiator::issue_read(block::Lba lba, std::uint32_t nblocks,
 }
 
 sim::Time Initiator::issue_write(block::Lba lba, std::uint32_t nblocks,
-                                 std::span<const std::uint8_t> data) {
+                                 std::span<const std::uint8_t> data,
+                                 block::FragSpan frags) {
   NETSTORE_CHECK_EQ(state_, SessionState::kLoggedIn, "session not logged in");
   // Tagged-queue write: completion is tracked in `outstanding_`, not
   // waited on here, so its time must not bill the active span.  Sync
@@ -127,7 +128,9 @@ sim::Time Initiator::issue_write(block::Lba lba, std::uint32_t nblocks,
   scsi::CommandResult result;
   const scsi::Cdb cdb = scsi::Cdb::write10(lba, nblocks);
   const sim::Time served =
-      target_.serve(cdb, last, {}, data.subspan(0, total), result);
+      frags.empty()
+          ? target_.serve(cdb, last, {}, data.subspan(0, total), result)
+          : target_.serve_write(cdb, last, frags, result);
   if (!result.ok()) {
     throw std::runtime_error("iSCSI WRITE failed: " +
                              scsi::to_string(cdb.op));
@@ -182,7 +185,28 @@ void Initiator::write(block::Lba lba, std::uint32_t nblocks,
     const sim::Time complete = issue_write(
         lba + done, n,
         data.subspan(static_cast<std::size_t>(done) * kBlockSize,
-                     static_cast<std::size_t>(n) * kBlockSize));
+                     static_cast<std::size_t>(n) * kBlockSize),
+        {});
+    outstanding_.push(complete);
+    last = std::max(last, complete);
+    done += n;
+  }
+  if (mode == block::WriteMode::kSync) env_.advance_to(last);
+}
+
+void Initiator::write_gather(block::Lba lba, block::FragSpan frags,
+                             block::WriteMode mode) {
+  // Same bursting and tagged-queue behaviour as write(); the page-cache
+  // fragments flow through to the target without a staging copy.
+  const auto nblocks = static_cast<std::uint32_t>(frags.size());
+  std::uint32_t done = 0;
+  const std::uint32_t burst_blocks = params_.max_burst_length / kBlockSize;
+  sim::Time last = env_.now();
+  while (done < nblocks) {
+    const std::uint32_t n = std::min(nblocks - done, burst_blocks);
+    reserve_queue_slot();
+    const sim::Time complete =
+        issue_write(lba + done, n, {}, frags.subspan(done, n));
     outstanding_.push(complete);
     last = std::max(last, complete);
     done += n;

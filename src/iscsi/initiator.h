@@ -12,15 +12,14 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <span>
-#include <vector>
 
 #include "block/device.h"
 #include "iscsi/session.h"
 #include "iscsi/target.h"
 #include "net/link.h"
 #include "sim/env.h"
+#include "sim/event_heap.h"
 #include "sim/stats.h"
 
 namespace netstore::iscsi {
@@ -49,6 +48,8 @@ class Initiator final : public block::BlockDevice {
   void write(block::Lba lba, std::uint32_t nblocks,
              std::span<const std::uint8_t> data,
              block::WriteMode mode) override;
+  void write_gather(block::Lba lba, block::FragSpan frags,
+                    block::WriteMode mode) override;
   void flush() override;
   std::optional<sim::Time> prefetch(block::Lba lba, std::uint32_t nblocks,
                                     std::span<std::uint8_t> out) override;
@@ -83,9 +84,11 @@ class Initiator final : public block::BlockDevice {
                        std::span<std::uint8_t> out);
 
   /// Sends one WRITE command sequence starting now; returns response
-  /// arrival time.  Does not block.
+  /// arrival time.  Does not block.  The payload is either contiguous
+  /// (`data`, when `frags` is empty) or scatter-gather (`frags`).
   sim::Time issue_write(block::Lba lba, std::uint32_t nblocks,
-                        std::span<const std::uint8_t> data);
+                        std::span<const std::uint8_t> data,
+                        block::FragSpan frags);
 
   /// Pops completions that are already in the past; if the queue is still
   /// full, blocks (advances the clock) until a slot frees up.
@@ -99,9 +102,7 @@ class Initiator final : public block::BlockDevice {
   InitiatorCostHook cost_hook_;
 
   // Min-heap of outstanding async-write response arrival times.
-  std::priority_queue<sim::Time, std::vector<sim::Time>,
-                      std::greater<sim::Time>>
-      outstanding_;
+  sim::DaryHeap<sim::Time, std::less<sim::Time>> outstanding_;
 
   sim::Counter exchanges_;
   sim::Counter write_commands_;

@@ -44,4 +44,21 @@ sim::Time Target::serve(const scsi::Cdb& cdb, sim::Time start,
   return t;
 }
 
+sim::Time Target::serve_write(const scsi::Cdb& cdb, sim::Time start,
+                              block::FragSpan frags,
+                              scsi::CommandResult& result) {
+  commands_.add(1);
+  result = scsi::CommandResult{};
+
+  sim::Time t = start;
+  if (cost_hook_) t += cost_hook_(start, /*is_write=*/true, cdb.nblocks);
+
+  if (cdb.lba + cdb.nblocks > volume_blocks_) {
+    result.status = scsi::Status::kCheckCondition;
+    result.sense = scsi::SenseKey::kIllegalRequest;
+    return t;
+  }
+  return cache_.write_frags(t, cdb.lba, frags);
+}
+
 }  // namespace netstore::iscsi

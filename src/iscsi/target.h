@@ -35,6 +35,12 @@ class Target {
                   std::span<const std::uint8_t> in,
                   scsi::CommandResult& result);
 
+  /// WRITE(10) with a scatter-gather payload (cdb.op must be kWrite10;
+  /// frags.size() == cdb.nblocks).  Identical cost model to serve() — the
+  /// payload shape changes nothing the simulation observes.
+  sim::Time serve_write(const scsi::Cdb& cdb, sim::Time start,
+                        block::FragSpan frags, scsi::CommandResult& result);
+
   void set_cost_hook(TargetCostHook hook) { cost_hook_ = std::move(hook); }
 
   [[nodiscard]] std::uint64_t volume_blocks() const { return volume_blocks_; }

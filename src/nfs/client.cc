@@ -34,8 +34,7 @@ NfsClient::~NfsClient() = default;
 // ---------------------------------------------------------------------------
 
 void NfsClient::call(Proc proc, std::uint32_t req_payload,
-                     std::uint32_t resp_payload,
-                     const std::function<void()>& work) {
+                     std::uint32_t resp_payload, sim::FuncRef<void()> work) {
   rpc_.call(req_payload, resp_payload, [&](sim::Time arrival) {
     env_.advance_to(arrival);
     server_.charge(proc, req_payload + resp_payload);
@@ -46,7 +45,7 @@ void NfsClient::call(Proc proc, std::uint32_t req_payload,
 
 sim::Time NfsClient::call_async(Proc proc, std::uint32_t req_payload,
                                 std::uint32_t resp_payload,
-                                const std::function<void()>& work) {
+                                sim::FuncRef<void()> work) {
   return rpc_.call_async(req_payload, resp_payload, [&](sim::Time arrival) {
     server_.charge(proc, req_payload + resp_payload);
     work();

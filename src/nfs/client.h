@@ -166,8 +166,9 @@ class NfsClient {
   };
   struct PageKeyHash {
     std::size_t operator()(const PageKey& k) const {
-      return std::hash<std::uint64_t>()(k.fh * 0x9E3779B97F4A7C15ull ^
-                                        k.index);
+      // Full mix of both words: a multiply-then-XOR of the raw index left
+      // the low bits of consecutive pages colliding across files.
+      return static_cast<std::size_t>(sim::mix64(k.fh ^ sim::mix64(k.index)));
     }
   };
   struct Page {
@@ -187,13 +188,13 @@ class NfsClient {
 
   // -- RPC helpers --
   /// One synchronous RPC; `work` runs at the server (clock advanced to the
-  /// request's arrival first).
+  /// request's arrival first).  `work` is a borrowed view (sim::FuncRef):
+  /// it is invoked before the call returns and never stored.
   void call(Proc proc, std::uint32_t req_payload, std::uint32_t resp_payload,
-            const std::function<void()>& work);
+            sim::FuncRef<void()> work);
   /// Async variant; returns reply arrival time.
   sim::Time call_async(Proc proc, std::uint32_t req_payload,
-                       std::uint32_t resp_payload,
-                       const std::function<void()>& work);
+                       std::uint32_t resp_payload, sim::FuncRef<void()> work);
 
   void remember_attr(Fh fh, const fs::Attr& a);
   void remember_dentry(Fh dir, const std::string& name, Fh fh,

@@ -8,7 +8,7 @@ namespace netstore::rpc {
 
 sim::Time RpcTransport::exchange(std::uint32_t request_payload,
                                  std::uint32_t reply_payload,
-                                 const ServerWork& work) {
+                                 ServerWork work) {
   stats_.calls.add(1);
   const sim::Time t0 = env_.now();
   const sim::Time arrival = link_.send(net::Direction::kClientToServer,
@@ -47,13 +47,13 @@ sim::Time RpcTransport::exchange(std::uint32_t request_payload,
 }
 
 void RpcTransport::call(std::uint32_t request_payload,
-                        std::uint32_t reply_payload, const ServerWork& work) {
+                        std::uint32_t reply_payload, ServerWork work) {
   env_.advance_to(exchange(request_payload, reply_payload, work));
 }
 
 sim::Time RpcTransport::call_async(std::uint32_t request_payload,
                                    std::uint32_t reply_payload,
-                                   const ServerWork& work) {
+                                   ServerWork work) {
   // Write-behind traffic: the caller does not wait for this exchange, so
   // none of its time may bill the active request's span.
   obs::SuspendGuard guard(env_.tracer());

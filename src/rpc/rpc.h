@@ -10,11 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "net/link.h"
 #include "sim/env.h"
 #include "sim/stats.h"
+#include "sim/task.h"
 
 namespace netstore::rpc {
 
@@ -42,8 +42,9 @@ struct RpcStats {
 
 /// The server side of one RPC: takes the request's arrival time, performs
 /// the work (which may consume simulated time), and returns the time the
-/// reply is ready to transmit.
-using ServerWork = std::function<sim::Time(sim::Time arrival)>;
+/// reply is ready to transmit.  A non-owning view: the transport invokes
+/// it synchronously inside call/call_async and never stores it.
+using ServerWork = sim::FuncRef<sim::Time(sim::Time arrival)>;
 
 class RpcTransport {
  public:
@@ -54,12 +55,12 @@ class RpcTransport {
   /// arrives.  `payload` bytes are added on top of headers in each
   /// direction.
   void call(std::uint32_t request_payload, std::uint32_t reply_payload,
-            const ServerWork& work);
+            ServerWork work);
 
   /// Asynchronous call (unstable WRITEs): performs the exchange without
   /// blocking; returns the reply's arrival time.
   sim::Time call_async(std::uint32_t request_payload,
-                       std::uint32_t reply_payload, const ServerWork& work);
+                       std::uint32_t reply_payload, ServerWork work);
 
   [[nodiscard]] const RpcStats& stats() const { return stats_; }
   /// Non-const access for MetricsRegistry adoption (src/obs).
@@ -72,7 +73,7 @@ class RpcTransport {
 
  private:
   sim::Time exchange(std::uint32_t request_payload,
-                     std::uint32_t reply_payload, const ServerWork& work);
+                     std::uint32_t reply_payload, ServerWork work);
 
   sim::Env& env_;
   net::Link& link_;

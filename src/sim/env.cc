@@ -9,10 +9,6 @@
 
 namespace netstore::sim {
 
-void Env::schedule_at(Time at, std::function<void()> fn) {
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
-}
-
 void Env::audit_pop(const Event& ev, Time target) {
   NETSTORE_CHECK_LE(ev.at, target, "event fired past the sweep target");
   // Between two pops with no intervening schedule_at (the sequence counter
@@ -34,13 +30,15 @@ void Env::audit_pop(const Event& ev, Time target) {
   audit_seq_snapshot_ = next_seq_;
 }
 
-void Env::advance_to(Time t) {
-  if (t < now_) return;
-  while (!queue_.empty() && queue_.top().at <= t) {
-    // Copy out before pop: the callback may schedule new events.
-    Event ev = queue_.top();
-    queue_.pop();
-    if (audit_) audit_pop(ev, t);
+void Env::run_pending(Time target, bool drain_all) {
+  while (!queue_.empty()) {
+    if (!drain_all && queue_.top().at > target) break;
+    // pop() moves the event out and leaves the heap consistent before the
+    // callback runs, so callbacks may schedule (push) re-entrantly.
+    Event ev = queue_.pop();
+    if (audit_) {
+      audit_pop(ev, drain_all ? (ev.at > now_ ? ev.at : now_) : target);
+    }
     if (ev.at > now_) now_ = ev.at;
     {
       // Deferred daemon work must not bill the request whose advance
@@ -49,23 +47,17 @@ void Env::advance_to(Time t) {
       ev.fn();
     }
   }
+}
+
+void Env::advance_to(Time t) {
+  if (t < now_) return;
+  run_pending(t, /*drain_all=*/false);
   // A callback may re-entrantly advance the clock past `t` (e.g. a flusher
   // blocking on a device); never move it backwards.
   if (t > now_) now_ = t;
 }
 
-void Env::drain() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (audit_) audit_pop(ev, ev.at > now_ ? ev.at : now_);
-    if (ev.at > now_) now_ = ev.at;
-    {
-      obs::SuspendGuard guard(tracer_);
-      ev.fn();
-    }
-  }
-}
+void Env::drain() { run_pending(/*target=*/0, /*drain_all=*/true); }
 
 void Env::check_quiesced() const {
   NETSTORE_CHECK_EQ(queue_.size(), std::size_t{0},

@@ -7,13 +7,18 @@
 // fire whenever the clock sweeps past their deadline.  This keeps protocol
 // state machines readable (straight-line code, no callback chains) while
 // still modelling asynchronous daemons faithfully.
+//
+// The event queue is the hottest structure in the repo — every bench sweep
+// pushes and pops millions of events — so it is built from the hot-path
+// primitives in task.h / event_heap.h: events hold a sim::Task (inline
+// capture storage, no per-event allocation) and live in a 4-ary min-heap
+// that pops by move.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
+#include "sim/event_heap.h"
+#include "sim/task.h"
 #include "sim/time.h"
 
 namespace netstore::obs {
@@ -38,10 +43,12 @@ class Env {
   /// Schedules `fn` to run when the clock reaches `at`.  Events scheduled
   /// for the same instant run in scheduling order.  Events scheduled in the
   /// past run at the next advance.
-  void schedule_at(Time at, std::function<void()> fn);
+  void schedule_at(Time at, Task fn) {
+    queue_.push(Event{at, next_seq_++, std::move(fn)});
+  }
 
   /// Schedules `fn` to run `after` from now.
-  void schedule_after(Duration after, std::function<void()> fn) {
+  void schedule_after(Duration after, Task fn) {
     schedule_at(now_ + after, std::move(fn));
   }
 
@@ -86,17 +93,25 @@ class Env {
   struct Event {
     Time at;
     std::uint64_t seq;  // tie-break: FIFO among same-deadline events
-    std::function<void()> fn;
+    Task fn;
   };
-  struct Later {
+  /// Min-heap ordering: earlier deadline pops first, scheduling order
+  /// breaks ties.  This pair ordering IS the determinism contract; the
+  /// audit hooks verify it on every pop.
+  struct Sooner {
     bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+      if (a.at != b.at) return a.at < b.at;
+      return a.seq < b.seq;
     }
   };
 
   /// Audit-mode dispatch bookkeeping (see set_audit).
   void audit_pop(const Event& ev, Time target);
+
+  /// Shared dispatch loop behind advance_to (drain_all=false: stop once
+  /// the next deadline exceeds `target`) and drain (drain_all=true:
+  /// `target` ignored, each event audited against its own deadline).
+  void run_pending(Time target, bool drain_all);
 
   Time now_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -107,7 +122,7 @@ class Env {
   std::uint64_t audit_last_pop_seq_ = 0;
   std::uint64_t audit_seq_snapshot_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  DaryHeap<Event, Sooner> queue_;
 };
 
 }  // namespace netstore::sim

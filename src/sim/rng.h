@@ -14,6 +14,16 @@
 
 namespace netstore::sim {
 
+/// splitmix64 finalizer: a full-avalanche 64-bit mix.  Every output bit
+/// depends on every input bit, which makes it the right building block for
+/// composite hash keys (hash-map bucket indices take the LOW bits, so
+/// unmixed fields cluster).  Combine fields as mix64(a ^ mix64(b)).
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// Seedable deterministic PRNG with the distributions the workloads need.
 class Rng {
  public:
@@ -24,10 +34,7 @@ class Rng {
   void reseed(std::uint64_t seed) {
     for (auto& s : state_) {
       seed += 0x9e3779b97f4a7c15ull;
-      std::uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-      s = z ^ (z >> 31);
+      s = mix64(seed);
     }
   }
 

@@ -26,6 +26,13 @@
 //                   write to the console — route output through
 //                   obs::Report / metrics, or suppress for genuine
 //                   diagnostics (e.g. the CHECK failure handler)
+//   std-function-hot-path
+//                   std::function in the hot modules (sim/, fs/, block/):
+//                   every copy heap-allocates and every call is an
+//                   indirect jump through a type-erased thunk.  Use
+//                   sim::Task for owned callables and sim::FuncRef for
+//                   synchronous borrows; cold configuration hooks can
+//                   suppress with a justification
 //
 // Suppress a finding with a comment on the same line or the line above:
 //   // netstore-lint: allow(unordered-iter) -- victims are sorted below
@@ -196,6 +203,7 @@ class Linter {
       std::vector<Finding> file_findings;
       check_simple_patterns(f, file_findings);
       check_raw_print(f, file_findings);
+      check_std_function(f, file_findings);
       check_unordered_iteration(f, file_findings);
       check_virtual_dtor(f, file_findings);
       check_float_eq(f, file_findings);
@@ -337,6 +345,28 @@ class Linter {
                          "genuine diagnostics"});
           break;  // one finding per line
         }
+      }
+    }
+  }
+
+  // --- std-function-hot-path --------------------------------------------
+
+  void check_std_function(const SourceFile& f, std::vector<Finding>& out) {
+    // The event loop, file-system caches, and block layer are the
+    // simulator's hot paths: callables there are created and invoked
+    // millions of times per run.  std::function costs a heap allocation
+    // per capture-heavy copy and an indirect call per invocation; the
+    // in-house alternatives are sim::Task (owning, 40-byte inline
+    // storage) and sim::FuncRef (non-owning view for synchronous calls).
+    static const std::set<std::string> kHotModules = {"sim", "fs", "block"};
+    if (!kHotModules.count(f.module)) return;
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+      if (f.code[li].find("std::function") != std::string::npos) {
+        out.push_back({f.path, li + 1, "std-function-hot-path",
+                       "std::function in hot module '" + f.module +
+                           "'; use sim::Task (owning) or sim::FuncRef "
+                           "(borrowing), or suppress for a cold "
+                           "configuration hook"});
       }
     }
   }
@@ -660,8 +690,9 @@ int main(int argc, char** argv) {
   if (self_test) {
     // Negative-test mode: the fixture tree must trip every rule.
     const std::set<std::string> required = {
-        "wall-clock",     "rand",         "raw-assert", "raw-print",
-        "unordered-iter", "virtual-dtor", "float-eq",
+        "wall-clock",   "rand",     "raw-assert",
+        "raw-print",    "unordered-iter",
+        "virtual-dtor", "float-eq", "std-function-hot-path",
     };
     std::set<std::string> fired;
     bool ok = true;

@@ -1,0 +1,15 @@
+// Fixture: std::function in a hot module (path says src/sim/) must trip
+// std-function-hot-path.  A mention in a comment like this one must not.
+#include <functional>
+
+namespace netstore::sim {
+
+struct EventLoop {
+  std::function<void()> callback;  // member: flagged
+
+  void schedule(std::function<void()> fn);  // parameter: flagged
+};
+
+using Hook = std::function<int(int)>;  // alias: flagged
+
+}  // namespace netstore::sim
