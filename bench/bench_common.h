@@ -3,13 +3,56 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/testbed.h"
 #include "obs/report.h"
 
 namespace netstore::bench {
+
+/// Per-protocol pool of warmed testbed prototypes (DESIGN.md §13).
+///
+/// Sweep benches acquire one world per measurement point.  The first
+/// acquire() for a (protocol, config) builds a Testbed, quiesces it and
+/// captures a core::Checkpoint; every later acquire() forks the stored
+/// image in O(state) instead of replaying construction (mkfs, mount,
+/// login).  Setting NETSTORE_NO_FORK=1 bypasses the checkpoint: every
+/// acquire() then builds and quiesces from scratch.  Both paths hand
+/// back a world with the identical history — construct, then quiesce —
+/// so a bench's report is byte-identical either way (CI diffs the two).
+class WarmPool {
+ public:
+  WarmPool()
+      : no_fork_([] {
+          const char* v = std::getenv("NETSTORE_NO_FORK");
+          return v != nullptr && v[0] != '\0' && v[0] != '0';
+        }()) {}
+
+  /// Default-config testbeds only: the pool caches one image per
+  /// protocol, so per-point config (e.g. injected RTT) must be applied to
+  /// the returned world, not baked into the prototype.
+  [[nodiscard]] std::unique_ptr<core::Testbed> acquire(core::Protocol p) {
+    if (no_fork_) return build(p);
+    auto& slot = checkpoints_[p];
+    if (!slot) slot = std::make_unique<core::Checkpoint>(*build(p));
+    return slot->fork();
+  }
+
+ private:
+  static std::unique_ptr<core::Testbed> build(core::Protocol p) {
+    auto bed = std::make_unique<core::Testbed>(p);
+    bed->quiesce();
+    return bed;
+  }
+
+  bool no_fork_;
+  std::map<core::Protocol, std::unique_ptr<core::Checkpoint>> checkpoints_;
+};
 
 inline const std::vector<core::Protocol>& paper_protocols() {
   static const std::vector<core::Protocol> kProtocols = {

@@ -19,6 +19,10 @@ int main(int argc, char** argv) {
 
   const std::vector<int> rtts_ms = {10, 30, 50, 70, 90};
 
+  // Each (rtt, pattern, protocol) point forks from a per-protocol warmed
+  // prototype; the injected RTT is applied to the fork, never baked into
+  // the prototype (NETSTORE_NO_FORK=1 to rebuild from scratch per point).
+  bench::WarmPool pool;
   std::printf("[reads]  completion time (s) for 128 MB\n");
   std::printf("%-8s | %12s %12s | %12s %12s | %6s\n", "RTT(ms)", "NFS seq",
               "NFS rand", "iSCSI seq", "iSCSI rand", "retx");
@@ -31,11 +35,11 @@ int main(int argc, char** argv) {
     for (bool random : {false, true}) {
       for (core::Protocol p :
            {core::Protocol::kNfsV3, core::Protocol::kIscsi}) {
-        core::Testbed bed(p);
-        bed.set_injected_rtt(sim::milliseconds(rtt));
+        auto bed = pool.acquire(p);
+        bed->set_injected_rtt(sim::milliseconds(rtt));
         workloads::LargeIoConfig cfg;
         cfg.random = random;
-        const auto r = run_large_read(bed, cfg);
+        const auto r = run_large_read(*bed, cfg);
         vals[(random ? 1 : 0) + (p == core::Protocol::kIscsi ? 2 : 0)] =
             r.seconds;
         if (p == core::Protocol::kNfsV3) retx += r.retransmissions;
@@ -58,11 +62,11 @@ int main(int argc, char** argv) {
     for (bool random : {false, true}) {
       for (core::Protocol p :
            {core::Protocol::kNfsV3, core::Protocol::kIscsi}) {
-        core::Testbed bed(p);
-        bed.set_injected_rtt(sim::milliseconds(rtt));
+        auto bed = pool.acquire(p);
+        bed->set_injected_rtt(sim::milliseconds(rtt));
         workloads::LargeIoConfig cfg;
         cfg.random = random;
-        const auto r = run_large_write(bed, cfg);
+        const auto r = run_large_write(*bed, cfg);
         vals[(random ? 1 : 0) + (p == core::Protocol::kIscsi ? 2 : 0)] =
             r.seconds;
       }

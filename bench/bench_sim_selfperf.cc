@@ -12,26 +12,40 @@
 //   syscalls/sec  warm-cache reads driven through a full Testbed VFS stack
 //                 (protocol, caches, RAID — the end-to-end per-op cost).
 //
-//   bench_sim_selfperf [--events N] [--syscalls N] [--json PATH]
-//                      [--min-events-per-sec X]
+//   sweep speedup  a Figure-5-shaped parameter sweep (3 modes x 10 I/O
+//                 sizes x 4 protocols) run twice: every point built from
+//                 scratch (construct + warmup replay + measured op), then
+//                 every point forked from one warmed per-protocol
+//                 checkpoint (the warm-prototype path the sweep benches
+//                 use).  The forked total includes building the
+//                 prototypes, so the ratio is the end-to-end win.  Each
+//                 point's message count is asserted identical across the
+//                 two paths (the checkpoint determinism contract).
 //
-// --min-events-per-sec makes the binary a CI gate: exit 1 if the current
-// engine's events/sec lands under the floor.
+//   bench_sim_selfperf [--events N] [--syscalls N] [--json PATH]
+//                      [--min-events-per-sec X] [--min-sweep-speedup X]
+//
+// --min-events-per-sec and --min-sweep-speedup make the binary a CI
+// gate: exit 1 if the current engine's events/sec or the checkpoint
+// sweep speedup lands under the floor.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/testbed.h"
 #include "obs/report.h"
 #include "sim/env.h"
 #include "sim/task.h"
+#include "workloads/microbench.h"
 
 namespace {
 
@@ -150,10 +164,95 @@ double syscalls_per_sec(netstore::core::Protocol proto, std::uint64_t ops) {
   return static_cast<double>(ops) / dt;
 }
 
+// --- sweep speedup (warm-state checkpoint/fork, DESIGN.md §13) -----------
+
+// The warm state a sweep's points share: file-system aging plus a seeded
+// 256 KB file (the shape of Microbench::setup), ending quiesced.  This is
+// what every from-scratch point replays and every forked point inherits.
+void warm_state(netstore::core::Testbed& bed) {
+  auto& v = bed.vfs();
+  for (int i = 0; i < 320; ++i) {
+    if (!v.creat("/age" + std::to_string(i), 0644).ok()) std::abort();
+  }
+  std::vector<std::uint8_t> blk(64 * 1024, 0x11);
+  auto fd = v.creat("/seed", 0644);
+  if (!fd.ok()) std::abort();
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    if (!v.write(*fd, k * blk.size(), blk).ok()) std::abort();
+  }
+  if (!v.fsync(*fd).ok()) std::abort();
+  if (!v.close(*fd).ok()) std::abort();
+  bed.quiesce();
+}
+
+struct SweepResult {
+  double scratch_ms = 0.0;  // every point: construct + warmup + op
+  double forked_ms = 0.0;   // prototypes + checkpoints, then fork + op
+  int points = 0;
+};
+
+// One Figure-5-shaped sweep over `protocols`: 3 modes x 10 sizes each.
+// Runs the from-scratch and the forked path over identical points and
+// CHECKs that each point measures the same message count on both.
+SweepResult sweep_speedup(
+    const std::vector<netstore::core::Protocol>& protocols) {
+  using netstore::core::Protocol;
+  using netstore::core::Testbed;
+  struct Mode {
+    bool write;
+    bool warm;
+  };
+  const Mode modes[] = {{false, false}, {false, true}, {true, false}};
+  const std::uint32_t sizes[] = {128,  256,  512,   1024,  2048,
+                                 4096, 8192, 16384, 32768, 65536};
+
+  SweepResult res;
+  std::vector<std::uint64_t> scratch_msgs;
+  const auto t0 = Clock::now();
+  for (Protocol p : protocols) {
+    for (const Mode& m : modes) {
+      for (std::uint32_t size : sizes) {
+        Testbed bed(p);
+        warm_state(bed);
+        netstore::workloads::Microbench mb(bed);
+        scratch_msgs.push_back(mb.io_op(m.write, size, m.warm));
+        ++res.points;
+      }
+    }
+  }
+  res.scratch_ms = seconds_since(t0) * 1e3;
+
+  std::size_t i = 0;
+  const auto t1 = Clock::now();
+  for (Protocol p : protocols) {
+    Testbed proto(p);
+    warm_state(proto);
+    netstore::core::Checkpoint cp(proto);
+    for (const Mode& m : modes) {
+      for (std::uint32_t size : sizes) {
+        auto bed = cp.fork();
+        netstore::workloads::Microbench mb(*bed);
+        const std::uint64_t msgs = mb.io_op(m.write, size, m.warm);
+        if (msgs != scratch_msgs[i]) {
+          std::fprintf(stderr,
+                       "FAIL: sweep point %zu diverged: forked %llu msgs "
+                       "vs scratch %llu\n",
+                       i, static_cast<unsigned long long>(msgs),
+                       static_cast<unsigned long long>(scratch_msgs[i]));
+          std::abort();
+        }
+        ++i;
+      }
+    }
+  }
+  res.forked_ms = seconds_since(t1) * 1e3;
+  return res;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--events N] [--syscalls N] [--json PATH] "
-               "[--min-events-per-sec X]\n",
+               "[--min-events-per-sec X] [--min-sweep-speedup X]\n",
                argv0);
   return 2;
 }
@@ -170,6 +269,7 @@ int main(int argc, char** argv) {
   int chains = 4;
   std::string json_path;
   double min_events_per_sec = 0.0;
+  double min_sweep_speedup = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -185,6 +285,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--min-events-per-sec" && has_value) {
       min_events_per_sec = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--min-sweep-speedup" && has_value) {
+      min_sweep_speedup = std::strtod(argv[++i], nullptr);
     } else {
       return usage(argv[0]);
     }
@@ -209,6 +311,12 @@ int main(int argc, char** argv) {
   const double sys_nfsv3 =
       syscalls_per_sec(netstore::core::Protocol::kNfsV3, n_syscalls);
 
+  const SweepResult sweep = sweep_speedup(
+      {netstore::core::Protocol::kNfsV2, netstore::core::Protocol::kNfsV3,
+       netstore::core::Protocol::kNfsV4, netstore::core::Protocol::kIscsi});
+  const double sweep_x =
+      sweep.forked_ms > 0 ? sweep.scratch_ms / sweep.forked_ms : 0.0;
+
   std::printf("%-24s %16s\n", "metric", "per second");
   std::printf("%-24s %16.0f\n", "events (current)", current);
   std::printf("%-24s %16.0f\n", "events (legacy)", legacy);
@@ -218,6 +326,9 @@ int main(int argc, char** argv) {
   std::printf("task inline/heap constructions: %llu / %llu\n",
               static_cast<unsigned long long>(inline_delta),
               static_cast<unsigned long long>(heap_delta));
+  std::printf("sweep (%d points): scratch %.0f ms, forked %.0f ms, "
+              "speedup %.2fx\n",
+              sweep.points, sweep.scratch_ms, sweep.forked_ms, sweep_x);
 
   if (!json_path.empty()) {
     netstore::obs::Report report("bench_sim_selfperf",
@@ -232,6 +343,11 @@ int main(int argc, char** argv) {
     s.row({"inline_constructions", inline_delta});
     s.row({"heap_constructions", heap_delta});
     s.row({"events_speedup_x", speedup});
+    auto& sw = report.table("checkpoint_sweep", {"metric", "value"});
+    sw.row({"points", static_cast<std::uint64_t>(sweep.points)});
+    sw.row({"scratch_ms", sweep.scratch_ms});
+    sw.row({"forked_ms", sweep.forked_ms});
+    sw.row({"sweep_speedup_x", sweep_x});
     if (!netstore::obs::Report::write_file(json_path, report.json())) {
       return 1;
     }
@@ -241,6 +357,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: events/sec %.0f below floor %.0f\n", current,
                  min_events_per_sec);
+    return 1;
+  }
+  if (min_sweep_speedup > 0 && sweep_x < min_sweep_speedup) {
+    std::fprintf(stderr, "FAIL: sweep speedup %.2fx below floor %.2fx\n",
+                 sweep_x, min_sweep_speedup);
     return 1;
   }
   return 0;

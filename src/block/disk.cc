@@ -21,8 +21,22 @@ void Disk::read_data(Lba lba, MutBlockView out) const {
 void Disk::write_data(Lba lba, BlockView data) {
   NETSTORE_CHECK_LT(lba, config_.block_count);
   auto& slot = store_[lba];
-  if (!slot) slot = std::make_unique<BlockBuf>();
+  // Un-share before mutating: a buffer still referenced by a clone is
+  // frozen (copy-on-write).  The full block is overwritten, so a fresh
+  // buffer needs no copy of the old contents.
+  if (!slot || slot.use_count() > 1) slot = std::make_shared<BlockBuf>();
   std::memcpy(slot->data(), data.data(), kBlockSize);
+}
+
+std::unique_ptr<Disk> Disk::clone() const {
+  auto copy = std::make_unique<Disk>(config_);
+  copy->store_ = store_;  // shares every block buffer (copy-on-write)
+  copy->read_busy_until_ = read_busy_until_;
+  copy->write_busy_until_ = write_busy_until_;
+  copy->next_sequential_read_ = next_sequential_read_;
+  copy->next_sequential_write_ = next_sequential_write_;
+  copy->requests_ = requests_;
+  return copy;
 }
 
 sim::Duration Disk::seek_time(Lba from, Lba to) const {

@@ -73,11 +73,23 @@ class Disk {
     return requests_.value();
   }
 
+  /// Copy for checkpoint/fork: O(blocks) pointer copies, zero byte
+  /// copies — stored blocks are shared copy-on-write with the clone.
+  /// Also copies the service-model state (busy times, sequential-
+  /// detection cursors).
+  [[nodiscard]] std::unique_ptr<Disk> clone() const;
+
  private:
   [[nodiscard]] sim::Duration seek_time(Lba from, Lba to) const;
 
   DiskConfig config_;
-  std::unordered_map<Lba, std::unique_ptr<BlockBuf>> store_;
+  // Copy-on-write block store.  clone() copies the map but *shares* the
+  // block buffers; write_data() un-shares a buffer (use_count > 1) before
+  // mutating it.  Writes always replace the full block, so a shared
+  // buffer is immutable for as long as it stays shared.  Refcount ops are
+  // atomic, and fork()/world-handoff points synchronize, so clones may
+  // run on different threads.
+  std::unordered_map<Lba, std::shared_ptr<BlockBuf>> store_;
   sim::Time read_busy_until_ = 0;
   sim::Time write_busy_until_ = 0;
   Lba next_sequential_read_ = 0;

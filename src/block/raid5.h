@@ -77,6 +77,10 @@ class Raid5Array {
   /// returns true in degraded mode, where parity is provisional.
   [[nodiscard]] bool verify_parity(Lba max_logical_lba) const;
 
+  /// Deep copy for checkpoint/fork: clones every member disk (contents and
+  /// mechanical state) plus the controller channels and degraded-mode flag.
+  [[nodiscard]] std::unique_ptr<Raid5Array> clone() const;
+
  private:
   struct Mapping {
     std::uint32_t data_disk;

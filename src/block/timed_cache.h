@@ -68,6 +68,12 @@ class TimedCache {
   /// media component, hit time (memory-speed, 0 in this model) to cache.
   void set_tracer(obs::Tracer* t) { tracer_ = t; }
 
+  /// Deep copy for checkpoint/fork, rehomed onto `array` (the clone of the
+  /// source's backing array).  Cached blocks, dirty bits, counters, and the
+  /// exact LRU recency order all carry over; the tracer pointer does not —
+  /// the forking Testbed injects its own.
+  [[nodiscard]] std::unique_ptr<TimedCache> clone(Raid5Array& array) const;
+
  private:
   struct Entry {
     Entry* lru_prev = nullptr;  // intrusive LRU links (core::LruList)

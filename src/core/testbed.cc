@@ -98,6 +98,71 @@ Testbed::~Testbed() {
   }
 }
 
+void Testbed::quiesce() {
+  // Fire every deferred daemon event, then wait out the asynchronous
+  // writes those daemons issued (page flushes land in the initiator's
+  // tagged queue / the client's write pool).  Waiting advances the clock,
+  // which cannot schedule new events on an empty queue, but a daemon may
+  // have re-armed while firing — loop until a full pass leaves the queue
+  // empty.
+  do {
+    env_.drain();
+    if (protocol_ == Protocol::kIscsi) {
+      initiator_->flush();
+    } else {
+      nfs_client_->drain_pending_writes();
+    }
+  } while (env_.pending_events() > 0);
+}
+
+Testbed::Testbed(const Testbed& src, ForkTag)
+    : protocol_(src.protocol_),
+      config_(src.config_),
+      server_cpu_(src.server_cpu_),
+      client_cpu_(src.client_cpu_) {
+  // The quiescence contract: events hold callables that capture pointers
+  // into the source world and cannot be rewired, so none may be pending.
+  // The per-component clones CHECK the rest (no scheduled journal commit
+  // or flusher tick, no in-flight asynchronous writes, no open spans).
+  NETSTORE_CHECK_EQ(src.env_.pending_events(), std::size_t{0},
+                    "fork() requires a quiesced testbed — call quiesce()");
+  env_.clone_from(src.env_);
+  env_.set_audit(config_.invariant_audits);
+  env_.set_metrics(&metrics_);
+  env_.set_tracer(&tracer_);
+  tracer_.clone_from(src.tracer_);
+
+  link_ = src.link_->clone(env_);
+  raid_ = src.raid_->clone();
+
+  if (protocol_ == Protocol::kIscsi) {
+    target_cache_ = src.target_cache_->clone(*raid_);
+    target_cache_->set_tracer(&tracer_);
+    target_ = src.target_->clone(*target_cache_);
+    initiator_ = src.initiator_->clone(env_, *link_, *target_);
+    install_iscsi_cost_hooks();
+    client_fs_ = src.client_fs_->clone(env_, *initiator_);
+    wire_local_vfs();
+  } else {
+    server_disk_ = std::make_unique<block::LocalBlockDevice>(env_, *raid_);
+    server_disk_->clone_state_from(*src.server_disk_);
+    server_fs_ = src.server_fs_->clone(env_, *server_disk_);
+    nfs_server_ = src.nfs_server_->clone(env_, *server_fs_);
+    install_nfs_cost_hooks();
+    rpc_ = src.rpc_->clone(env_, *link_);
+    nfs_client_ = src.nfs_client_->clone(env_, *rpc_, *nfs_server_);
+    wire_nfs_vfs();
+  }
+  // Rebuilding the registry against the cloned components re-adopts every
+  // counter at its carried-over value, so a forked snapshot equals the
+  // source's.
+  register_metrics();
+}
+
+std::unique_ptr<Testbed> Testbed::fork() const {
+  return std::unique_ptr<Testbed>(new Testbed(*this, ForkTag{}));
+}
+
 fs::Ext3Params Testbed::client_fs_params(const TestbedConfig& c) {
   fs::Ext3Params p;
   p.bcache_capacity_blocks = c.client_metadata_blocks;
@@ -110,12 +175,7 @@ fs::Ext3Params Testbed::client_fs_params(const TestbedConfig& c) {
   return p;
 }
 
-void Testbed::build_iscsi() {
-  target_cache_ = std::make_unique<block::TimedCache>(
-      *raid_, config_.target_cache_blocks, config_.target_cache_blocks / 2);
-  target_cache_->set_tracer(&tracer_);
-  target_ = std::make_unique<iscsi::Target>(*target_cache_,
-                                            config_.volume_blocks);
+void Testbed::install_iscsi_cost_hooks() {
   target_->set_cost_hook(
       [this](sim::Time at, bool is_write, std::uint32_t nblocks) {
         const sim::Duration d =
@@ -127,25 +187,15 @@ void Testbed::build_iscsi() {
         tracer_.charge(obs::Component::kCpu, d);
         return d;
       });
-
-  initiator_ =
-      std::make_unique<iscsi::Initiator>(env_, *link_, *target_, config_.iscsi);
   initiator_->set_cost_hook([this](sim::Time at, bool, std::uint32_t) {
     const sim::Duration d = config_.cpu.client_per_command;
     client_cpu_.charge(at, d);
     tracer_.charge(obs::Component::kCpu, d);
     return d;
   });
-  initiator_->login();
+}
 
-  fs::MkfsOptions mkfs;
-  mkfs.journal_blocks = config_.journal_blocks;
-  fs::Ext3Fs::mkfs(*initiator_, mkfs);
-
-  client_fs_ =
-      std::make_unique<fs::Ext3Fs>(env_, *initiator_, client_fs_params(config_));
-  client_fs_->mount();
-
+void Testbed::wire_local_vfs() {
   auto local = std::make_unique<vfs::LocalVfs>(env_, *client_fs_);
   instr_ = std::make_unique<ClientInstr>(
       tracer_, [this](sim::Time at, vfs::Syscall, std::uint32_t bytes) {
@@ -158,6 +208,28 @@ void Testbed::build_iscsi() {
       });
   local->set_instrumentation(instr_.get());
   vfs_ = std::move(local);
+}
+
+void Testbed::build_iscsi() {
+  target_cache_ = std::make_unique<block::TimedCache>(
+      *raid_, config_.target_cache_blocks, config_.target_cache_blocks / 2);
+  target_cache_->set_tracer(&tracer_);
+  target_ = std::make_unique<iscsi::Target>(*target_cache_,
+                                            config_.volume_blocks);
+  initiator_ =
+      std::make_unique<iscsi::Initiator>(env_, *link_, *target_, config_.iscsi);
+  install_iscsi_cost_hooks();
+  initiator_->login();
+
+  fs::MkfsOptions mkfs;
+  mkfs.journal_blocks = config_.journal_blocks;
+  fs::Ext3Fs::mkfs(*initiator_, mkfs);
+
+  client_fs_ =
+      std::make_unique<fs::Ext3Fs>(env_, *initiator_, client_fs_params(config_));
+  client_fs_->mount();
+
+  wire_local_vfs();
 }
 
 nfs::ClientConfig Testbed::nfs_client_config() const {
@@ -191,25 +263,7 @@ nfs::ClientConfig Testbed::nfs_client_config() const {
   return c;
 }
 
-void Testbed::build_nfs() {
-  server_disk_ = std::make_unique<block::LocalBlockDevice>(env_, *raid_);
-
-  fs::MkfsOptions mkfs;
-  mkfs.journal_blocks = config_.journal_blocks;
-  fs::Ext3Fs::mkfs(*server_disk_, mkfs);
-
-  fs::Ext3Params p;
-  p.bcache_capacity_blocks = config_.server_metadata_blocks;
-  p.page_cache.capacity_pages = config_.server_cache_pages;
-  p.page_cache.dirty_high_water = config_.server_cache_pages / 4;
-  p.commit_interval = config_.commit_interval;
-  p.invariant_audits = config_.invariant_audits;
-  server_fs_ = std::make_unique<fs::Ext3Fs>(env_, *server_disk_, p);
-  server_fs_->mount();
-
-  nfs::ServerConfig sc;
-  sc.sync_data = protocol_ == Protocol::kNfsV2;
-  nfs_server_ = std::make_unique<nfs::NfsServer>(env_, *server_fs_, sc);
+void Testbed::install_nfs_cost_hooks() {
   nfs_server_->set_cost_hook(
       [this](sim::Time at, nfs::Proc proc, std::uint32_t bytes) {
         std::uint32_t layers = config_.cpu.nfs_layers;
@@ -231,12 +285,9 @@ void Testbed::build_nfs() {
         tracer_.charge(obs::Component::kCpu, d);
         return d;
       });
+}
 
-  rpc_ = std::make_unique<rpc::RpcTransport>(env_, *link_, config_.rpc);
-  nfs_client_ = std::make_unique<nfs::NfsClient>(env_, *rpc_, *nfs_server_,
-                                                 nfs_client_config());
-  nfs_client_->mount();
-
+void Testbed::wire_nfs_vfs() {
   auto v = std::make_unique<vfs::NfsVfs>(env_, *nfs_client_);
   instr_ = std::make_unique<ClientInstr>(
       tracer_, [this](sim::Time at, vfs::Syscall, std::uint32_t bytes) {
@@ -249,6 +300,35 @@ void Testbed::build_nfs() {
       });
   v->set_instrumentation(instr_.get());
   vfs_ = std::move(v);
+}
+
+void Testbed::build_nfs() {
+  server_disk_ = std::make_unique<block::LocalBlockDevice>(env_, *raid_);
+
+  fs::MkfsOptions mkfs;
+  mkfs.journal_blocks = config_.journal_blocks;
+  fs::Ext3Fs::mkfs(*server_disk_, mkfs);
+
+  fs::Ext3Params p;
+  p.bcache_capacity_blocks = config_.server_metadata_blocks;
+  p.page_cache.capacity_pages = config_.server_cache_pages;
+  p.page_cache.dirty_high_water = config_.server_cache_pages / 4;
+  p.commit_interval = config_.commit_interval;
+  p.invariant_audits = config_.invariant_audits;
+  server_fs_ = std::make_unique<fs::Ext3Fs>(env_, *server_disk_, p);
+  server_fs_->mount();
+
+  nfs::ServerConfig sc;
+  sc.sync_data = protocol_ == Protocol::kNfsV2;
+  nfs_server_ = std::make_unique<nfs::NfsServer>(env_, *server_fs_, sc);
+  install_nfs_cost_hooks();
+
+  rpc_ = std::make_unique<rpc::RpcTransport>(env_, *link_, config_.rpc);
+  nfs_client_ = std::make_unique<nfs::NfsClient>(env_, *rpc_, *nfs_server_,
+                                                 nfs_client_config());
+  nfs_client_->mount();
+
+  wire_nfs_vfs();
 }
 
 namespace {

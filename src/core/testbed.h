@@ -95,18 +95,25 @@ class Testbed {
   /// Per-request trace spans (opened at VFS entry, closed at return).
   [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
 
-  // Legacy getters, kept as thin wrappers over snapshot().
+  // Legacy getters.  Benches poll these per operation, so each reads its
+  // one counter directly instead of materializing a full StatsSnapshot
+  // (which walks every cache in the stack) per call.
   /// Protocol exchanges — the paper's "number of messages".
-  [[nodiscard]] std::uint64_t messages() const { return snapshot().messages; }
+  [[nodiscard]] std::uint64_t messages() const {
+    return protocol_ == Protocol::kIscsi ? initiator_->exchanges()
+                                         : rpc_->stats().calls.value();
+  }
   /// Bytes on the wire (both directions).
-  [[nodiscard]] std::uint64_t bytes() const { return snapshot().bytes; }
+  [[nodiscard]] std::uint64_t bytes() const { return link_->total_bytes(); }
   /// Raw link-level messages (PDUs / RPC frames), both directions.
   [[nodiscard]] std::uint64_t raw_messages() const {
-    return snapshot().raw_messages;
+    return link_->total_messages();
   }
   /// RPC retransmissions (NFS only; 0 for iSCSI).
   [[nodiscard]] std::uint64_t retransmissions() const {
-    return snapshot().retransmissions;
+    return protocol_ == Protocol::kIscsi
+               ? 0
+               : rpc_->stats().retransmissions.value();
   }
 
   /// Zeroes traffic counters and opens a CPU measurement window.
@@ -126,6 +133,23 @@ class Testbed {
   /// Failure injection: client dies — caches and un-shipped state vanish.
   void crash_client();
 
+  // --- checkpoint / fork (warm-state snapshots, see DESIGN.md §13) ---
+
+  /// Runs every deferred daemon (journal commits, page flushes, delegation
+  /// flushes) to completion and waits out in-flight asynchronous writes,
+  /// leaving the world in the quiesced state fork() requires.  Virtual
+  /// time advances past the deferred work; warm cache contents survive.
+  void quiesce();
+
+  /// Deep-clones this testbed into an independent world with identical
+  /// observable state: clock and event-sequence counter, disks, caches
+  /// (LRU recency order included), protocol sessions, and every counter.
+  /// Requires quiescence — no pending events, no in-flight asynchronous
+  /// writes (quiesce() gets there; CHECK-aborts otherwise).  The source
+  /// remains fully usable; runs continued from the clone and from the
+  /// source are byte-identical in their reports.
+  [[nodiscard]] std::unique_ptr<Testbed> fork() const;
+
   // --- internals for white-box tests ---
   [[nodiscard]] fs::Ext3Fs& client_fs();     // iSCSI stacks only
   [[nodiscard]] fs::Ext3Fs& server_fs();     // NFS stacks only
@@ -137,8 +161,23 @@ class Testbed {
  private:
   class ClientInstr;  // vfs::Instrumentation impl (spans + CPU costs)
 
+  /// Fork constructor: deep-clones `src` (which must be quiesced) and
+  /// re-installs this instance's own cost hooks, tracer wiring, and
+  /// metrics registry against the cloned components.
+  struct ForkTag {};
+  Testbed(const Testbed& src, ForkTag);
+
   void build_iscsi();
   void build_nfs();
+  /// Cost hooks close over `this` (CPU models, tracer, config), so forks
+  /// must re-install their own rather than copy the source's; shared by
+  /// the normal build path and the fork constructor.
+  void install_iscsi_cost_hooks();
+  void install_nfs_cost_hooks();
+  /// Builds the client-side Vfs + instrumentation over the (fresh or
+  /// cloned) protocol stack.
+  void wire_local_vfs();
+  void wire_nfs_vfs();
   /// Adopts every long-lived component counter into the registry.  The fs
   /// page/buffer caches are deliberately absent: mount() recreates them,
   /// which would dangle an adopted reference — their ratios are computed

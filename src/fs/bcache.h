@@ -63,6 +63,13 @@ class Bcache {
   [[nodiscard]] sim::Counter& hits_counter() { return hits_; }
   [[nodiscard]] sim::Counter& misses_counter() { return misses_; }
 
+  /// Deep copy for checkpoint/fork, rehomed onto `dev` (the cloned world's
+  /// device).  Buffers, dirty bits, counters, and the exact LRU recency
+  /// order carry over.  CHECK-fails if any entry is mid-load — a loading
+  /// entry means a device read is on the stack, which a quiesced fork
+  /// rules out.
+  [[nodiscard]] std::unique_ptr<Bcache> clone(block::BlockDevice& dev) const;
+
  private:
   struct Entry {
     Entry* lru_prev = nullptr;  // intrusive LRU links (core::LruList)

@@ -78,6 +78,16 @@ class Journal {
   /// on-disk journal.  Off by default; testbeds enable it stack-wide.
   void set_audit(bool on) { audit_ = on; }
 
+  /// Deep copy for checkpoint/fork, rehomed onto the cloned world's
+  /// env/device/bcache and the cloned file system's superblock (the
+  /// journal mutates `sb` on commit, so it must be the clone's own copy,
+  /// never the source's).  CHECK-fails if a timed commit is scheduled —
+  /// the quiesced-fork rule.
+  [[nodiscard]] std::unique_ptr<Journal> clone(sim::Env& env,
+                                               block::BlockDevice& dev,
+                                               Bcache& bcache,
+                                               SuperBlock& sb) const;
+
  private:
   /// Writes every checkpoint-pending block in place (coalesced into
   /// sequential runs) and resets the journal tail.

@@ -85,6 +85,17 @@ class PageCache {
   [[nodiscard]] std::uint64_t resident_pages() const { return pages_.size(); }
   [[nodiscard]] std::uint64_t dirty_pages() const { return dirty_count_; }
 
+  /// True while a flusher tick is scheduled (quiescence probe).
+  [[nodiscard]] bool flusher_scheduled() const { return flusher_scheduled_; }
+
+  /// Deep copy for checkpoint/fork, rehomed onto the cloned world's
+  /// env/device.  Pages (contents, dirty bits, read-ahead deadlines) and
+  /// the exact LRU recency order carry over; the clone gets a fresh
+  /// `alive_` guard since a quiesced source has no callbacks in flight.
+  /// CHECK-fails if a flusher tick is still scheduled.
+  [[nodiscard]] std::unique_ptr<PageCache> clone(sim::Env& env,
+                                                 block::BlockDevice& dev) const;
+
  private:
   struct Key {
     Ino ino;

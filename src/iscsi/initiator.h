@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 
 #include "block/device.h"
@@ -76,6 +77,15 @@ class Initiator final : public block::BlockDevice {
   void reset_stats();
 
   void set_cost_hook(InitiatorCostHook hook) { cost_hook_ = std::move(hook); }
+
+  /// Deep copy for checkpoint/fork, rehomed onto the cloned env/link/
+  /// target: session state, the tagged-queue completion heap, and the
+  /// exchange counters.  CHECKs that no async write is still in flight
+  /// (every queued completion time <= now) — the quiesced-fork rule.  The
+  /// cost hook is NOT copied; the forking Testbed installs its own.
+  [[nodiscard]] std::unique_ptr<Initiator> clone(sim::Env& env,
+                                                 net::Link& link,
+                                                 Target& target) const;
 
  private:
   /// Sends one READ command sequence starting now; returns the time the

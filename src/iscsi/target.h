@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 
 #include "block/timed_cache.h"
@@ -55,6 +56,15 @@ class Target {
   void crash() { cache_.crash(); }
 
   [[nodiscard]] block::TimedCache& cache() { return cache_; }
+
+  /// Deep copy for checkpoint/fork, rehomed onto `cache` (the cloned
+  /// world's cache).  The cost hook is a closure over the source Testbed
+  /// and is deliberately NOT copied — the forking Testbed installs its own.
+  [[nodiscard]] std::unique_ptr<Target> clone(block::TimedCache& cache) const {
+    auto copy = std::make_unique<Target>(cache, volume_blocks_);
+    copy->commands_ = commands_;
+    return copy;
+  }
 
  private:
   block::TimedCache& cache_;

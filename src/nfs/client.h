@@ -137,6 +137,24 @@ class NfsClient {
     return deleg_queue_.size();
   }
 
+  /// True while a delegation-flush tick is scheduled (quiescence probe).
+  [[nodiscard]] bool deleg_flush_scheduled() const {
+    return deleg_flush_scheduled_;
+  }
+
+  /// Waits out every outstanding asynchronous WRITE RPC, advancing the
+  /// clock to each completion (Testbed::quiesce() support).
+  void drain_pending_writes() { drain_writes(); }
+
+  /// Deep copy for checkpoint/fork, rehomed onto the cloned env/rpc/server:
+  /// dentry/attr/access caches, the page cache (LRU order preserved), file
+  /// states, the async write pool, and all §7 delegation state.  CHECKs
+  /// the quiesced-fork rules: no scheduled delegation flush and no write
+  /// RPC still in flight (every pool slot's completion time <= now).
+  [[nodiscard]] std::unique_ptr<NfsClient> clone(sim::Env& env,
+                                                 rpc::RpcTransport& rpc,
+                                                 NfsServer& server) const;
+
  private:
   // -- caches --
   struct DentryKey {

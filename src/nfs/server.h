@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -82,6 +83,16 @@ class NfsServer {
   [[nodiscard]] std::uint64_t requests() const { return requests_.value(); }
   /// Non-const access for MetricsRegistry adoption (src/obs).
   [[nodiscard]] sim::Counter& requests_counter() { return requests_; }
+
+  /// Deep copy for checkpoint/fork, rehomed onto the cloned env and file
+  /// system.  The cost hook is a closure over the source Testbed and is
+  /// deliberately NOT copied — the forking Testbed installs its own.
+  [[nodiscard]] std::unique_ptr<NfsServer> clone(sim::Env& env,
+                                                 fs::Ext3Fs& fs) const {
+    auto copy = std::make_unique<NfsServer>(env, fs, config_);
+    copy->requests_ = requests_;
+    return copy;
+  }
 
  private:
   /// Journal barrier after a metadata mutation when sync_metadata.

@@ -64,4 +64,17 @@ void Env::check_quiesced() const {
                     "events still pending at teardown");
 }
 
+void Env::clone_from(const Env& src) {
+  NETSTORE_CHECK_EQ(src.queue_.size(), std::size_t{0},
+                    "cannot clone an Env with pending events");
+  NETSTORE_CHECK_EQ(queue_.size(), std::size_t{0},
+                    "cannot clone into an Env with pending events");
+  now_ = src.now_;
+  next_seq_ = src.next_seq_;
+  audit_has_last_pop_ = src.audit_has_last_pop_;
+  audit_last_pop_at_ = src.audit_last_pop_at_;
+  audit_last_pop_seq_ = src.audit_last_pop_seq_;
+  audit_seq_snapshot_ = src.audit_seq_snapshot_;
+}
+
 }  // namespace netstore::sim

@@ -79,6 +79,15 @@ class Env {
   /// if events are still pending.
   void check_quiesced() const;
 
+  /// Copies the clock, sequence counter, and audit bookkeeping from a
+  /// *quiesced* source environment (checkpoint/fork support).  Both queues
+  /// must be empty — events hold type-erased callables that capture
+  /// pointers into the source world and cannot be rewired, which is why
+  /// fork() only exists for quiesced testbeds.  The observability pointers
+  /// and audit flag are deliberately NOT copied: they belong to the new
+  /// owner and are wired up by the forking Testbed.
+  void clone_from(const Env& src);
+
   /// Observability wiring (owned by the Testbed, see src/obs).  Null when
   /// a component is driven standalone; every instrumentation site must
   /// null-check.  The Env suspends the tracer around deferred-event

@@ -156,7 +156,11 @@ class Task {
     }
   }
 
+  // Process-wide allocation diagnostics for bench_sim_selfperf; never read
+  // by the simulation, so forked worlds cannot observe each other here.
+  // netstore-lint: allow(fork-unsafe-state) -- host-side diagnostic counter
   inline static std::atomic<std::uint64_t> inline_constructions_{0};
+  // netstore-lint: allow(fork-unsafe-state) -- host-side diagnostic counter
   inline static std::atomic<std::uint64_t> heap_constructions_{0};
 
   alignas(std::max_align_t) unsigned char storage_[kInlineSize];

@@ -63,8 +63,11 @@ LargeIoResult run_large_read(core::Testbed& bed, const LargeIoConfig& cfg) {
 
 LargeIoResult run_large_write(core::Testbed& bed, const LargeIoConfig& cfg) {
   vfs::Vfs& v = bed.vfs();
-  static int run_id = 0;
-  const std::string path = "/wfile" + std::to_string(run_id++);
+  // Uniquify the file name per run from the testbed's own clock (strictly
+  // ahead of any previous run's creation time on this bed).  A process-wide
+  // counter here would leak state across testbeds — two worlds forked from
+  // one checkpoint must create identical names (fork-unsafe-state lint).
+  const std::string path = "/wfile" + std::to_string(bed.env().now());
 
   bed.settle(sim::seconds(40));
   bed.cold_caches();

@@ -33,6 +33,16 @@
 //                   sim::Task for owned callables and sim::FuncRef for
 //                   synchronous borrows; cold configuration hooks can
 //                   suppress with a justification
+//   fork-unsafe-state
+//                   mutable `static` data in src/: process-wide state
+//                   outlives any one Testbed, so two worlds forked from
+//                   the same core::Checkpoint observe each other through
+//                   it and forked runs stop being byte-identical to
+//                   from-scratch runs.  Keep all mutable state inside the
+//                   world (it then clones with it); `static const` /
+//                   `constexpr` tables and static member *functions* are
+//                   fine.  Process-wide diagnostics that deliberately
+//                   live outside the simulation may suppress.
 //
 // Suppress a finding with a comment on the same line or the line above:
 //   // netstore-lint: allow(unordered-iter) -- victims are sorted below
@@ -204,6 +214,7 @@ class Linter {
       check_simple_patterns(f, file_findings);
       check_raw_print(f, file_findings);
       check_std_function(f, file_findings);
+      check_fork_unsafe_static(f, file_findings);
       check_unordered_iteration(f, file_findings);
       check_virtual_dtor(f, file_findings);
       check_float_eq(f, file_findings);
@@ -369,6 +380,69 @@ class Linter {
                            "configuration hook"});
       }
     }
+  }
+
+  // --- fork-unsafe-state ------------------------------------------------
+
+  void check_fork_unsafe_static(const SourceFile& f,
+                                std::vector<Finding>& out) {
+    // `static` durations are process-wide; a Testbed is supposed to be a
+    // closed world.  Checkpoint::fork() deep-clones the world, so any
+    // state a component keeps in a static leaks between the source and
+    // every fork — the exact aliasing the checkpoint subsystem exists to
+    // prevent.  Heuristic: flag the `static` keyword unless the line
+    // declares something immutable (const/constexpr) or the declarator
+    // is a function (first structural character after `static` is '(').
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+      const std::string& line = f.code[li];
+      std::size_t pos = line.find("static");
+      while (pos != std::string::npos) {
+        if (at_word(line, pos, "static") &&
+            (pos + 6 >= line.size() || !is_ident_char(line[pos + 6]))) {
+          // Whole word (excludes static_assert / static_cast).  const and
+          // constexpr anywhere on the line mean the data can never mutate,
+          // so sharing it across forks is harmless.
+          if (word_on_line(line, "const") || word_on_line(line, "constexpr")) {
+            break;
+          }
+          // Find the first structural character after the keyword,
+          // joining one continuation line for wrapped declarations.  '('
+          // first means a (stateless) static member function; anything
+          // else ('=', '{', ';') is a static *object* definition.
+          std::string decl = line.substr(pos + 6);
+          if (decl.find_first_of("(;={") == std::string::npos &&
+              li + 1 < f.code.size()) {
+            decl += ' ' + f.code[li + 1];
+          }
+          const std::size_t structural = decl.find_first_of("(;={");
+          if (structural == std::string::npos || decl[structural] != '(') {
+            out.push_back(
+                {f.path, li + 1, "fork-unsafe-state",
+                 "mutable static state outlives the Testbed and is shared "
+                 "across checkpoint forks; move it into the world so "
+                 "fork() clones it, or suppress for process-wide "
+                 "diagnostics"});
+            break;  // one finding per line
+          }
+        }
+        pos = line.find("static", pos + 6);
+      }
+    }
+  }
+
+  /// True if `word` occurs in `line` with identifier boundaries on both
+  /// sides.
+  static bool word_on_line(const std::string& line, const std::string& word) {
+    std::size_t pos = line.find(word);
+    while (pos != std::string::npos) {
+      if (at_word(line, pos, word) &&
+          (pos + word.size() >= line.size() ||
+           !is_ident_char(line[pos + word.size()]))) {
+        return true;
+      }
+      pos = line.find(word, pos + word.size());
+    }
+    return false;
   }
 
   // --- unordered-iter ---------------------------------------------------
@@ -693,6 +767,7 @@ int main(int argc, char** argv) {
         "wall-clock",   "rand",     "raw-assert",
         "raw-print",    "unordered-iter",
         "virtual-dtor", "float-eq", "std-function-hot-path",
+        "fork-unsafe-state",
     };
     std::set<std::string> fired;
     bool ok = true;

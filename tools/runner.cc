@@ -100,8 +100,34 @@ std::string hex(std::uint64_t v) {
 
 }  // namespace
 
-ScenarioResult run_scenario(const Scenario& sc) {
-  core::Testbed bed(sc.proto);
+std::unique_ptr<core::Testbed> WarmPrototypePool::acquire(core::Protocol p) {
+  core::Checkpoint* image = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = images_[p];
+    if (!slot) {
+      core::Testbed proto(p);
+      proto.quiesce();
+      slot = std::make_unique<core::Checkpoint>(proto);
+    }
+    image = slot.get();
+  }
+  // Forking outside the lock: fork() only reads the image, so concurrent
+  // workers clone the same prototype without serializing.
+  return image->fork();
+}
+
+ScenarioResult run_scenario(const Scenario& sc, WarmPrototypePool* pool) {
+  // Both paths start from the identical state — construct + quiesce —
+  // which is what makes pooled and from-scratch results byte-identical.
+  std::unique_ptr<core::Testbed> owned;
+  if (pool != nullptr) {
+    owned = pool->acquire(sc.proto);
+  } else {
+    owned = std::make_unique<core::Testbed>(sc.proto);
+    owned->quiesce();
+  }
+  core::Testbed& bed = *owned;
 
   ScenarioResult res;
   switch (sc.kind) {
@@ -138,11 +164,12 @@ ScenarioResult run_scenario(const Scenario& sc) {
 }
 
 std::vector<ScenarioResult> run_scenarios(std::span<const Scenario> scenarios,
-                                          unsigned workers) {
+                                          unsigned workers,
+                                          WarmPrototypePool* pool) {
   std::vector<ScenarioResult> results(scenarios.size());
   if (workers < 2 || scenarios.size() < 2) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      results[i] = run_scenario(scenarios[i]);
+      results[i] = run_scenario(scenarios[i], pool);
     }
     return results;
   }
@@ -155,15 +182,15 @@ std::vector<ScenarioResult> run_scenarios(std::span<const Scenario> scenarios,
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= scenarios.size()) return;
-      results[i] = run_scenario(scenarios[i]);
+      results[i] = run_scenario(scenarios[i], pool);
     }
   };
-  std::vector<std::thread> pool;
+  std::vector<std::thread> threads;
   const unsigned n =
       std::min<unsigned>(workers, static_cast<unsigned>(scenarios.size()));
-  pool.reserve(n);
-  for (unsigned i = 0; i < n; ++i) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+  threads.reserve(n);
+  for (unsigned i = 0; i < n; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
   return results;
 }
 

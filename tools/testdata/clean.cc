@@ -28,4 +28,14 @@ struct Tracker {
 // and neither must the string below.
 inline const char* kDoc = "call rand() and assert( nothing here )";
 
+// Immutable statics and static member functions are fork-safe as-is; a
+// process-wide diagnostic may keep mutable static state under a
+// justified suppression.
+struct ForkSafe {
+  static constexpr int kWays = 4;
+  static const char* name() { return "fork-safe"; }
+  // netstore-lint: allow(fork-unsafe-state) -- host-side diagnostic only
+  static int debug_probes_;
+};
+
 }  // namespace fixture
