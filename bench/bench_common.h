@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/buffer_pool.h"
 #include "core/checkpoint.h"
 #include "core/testbed.h"
 #include "obs/report.h"
@@ -96,8 +97,33 @@ inline Options parse_args(int argc, char** argv) {
   return opts;
 }
 
+/// Process-wide BufferPool telemetry as a registry-shaped snapshot.
+inline obs::MetricsRegistry::Snapshot pool_snapshot() {
+  const core::BufferPool& pool = core::BufferPool::instance();
+  obs::MetricsRegistry::Snapshot snap;
+  auto put = [&snap](const char* key, std::uint64_t v) {
+    obs::MetricValue mv;
+    mv.kind = obs::MetricValue::Kind::kCounter;
+    mv.count = v;
+    snap.emplace(key, mv);
+  };
+  put("pool.slabs", pool.slabs());
+  put("pool.shared_pages", pool.shared_pages());
+  put("pool.unshare_ops", pool.unshare_ops());
+  put("pool.alloc_fallbacks", pool.alloc_fallbacks());
+  return snap;
+}
+
 /// Writes the report to any requested sinks; returns the process exit code.
-inline int finish(const Options& opts, const obs::Report& report) {
+/// With NETSTORE_POOL_STATS set, a "pool" snapshot (BufferPool telemetry)
+/// is appended first.  Off by default: pool counters legitimately differ
+/// between forked and from-scratch runs of the same workload, and the
+/// byte-identity CI gates compare those outputs.
+inline int finish(const Options& opts, obs::Report& report) {
+  const char* ps = std::getenv("NETSTORE_POOL_STATS");
+  if (ps != nullptr && ps[0] != '\0' && ps[0] != '0') {
+    report.add_snapshot("pool", pool_snapshot());
+  }
   int rc = 0;
   if (!opts.json_path.empty() &&
       !obs::Report::write_file(opts.json_path, report.json())) {

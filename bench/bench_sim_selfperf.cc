@@ -22,12 +22,22 @@
 //                 point's message count is asserted identical across the
 //                 two paths (the checkpoint determinism contract).
 //
+//   fork cost     per protocol: the wall cost of forking one warmed
+//                 checkpoint, against a measured estimate of what a
+//                 deep-copying clone would add (heap alloc + 4 KB copy of
+//                 every page the image shares).  The ratio is the win
+//                 from the copy-on-write BufferPool (DESIGN.md §14).
+//   allocs/syscall  BufferPool fallback allocations per warm read: the
+//                 steady-state data path must run off the frame free
+//                 list, so this is ~0 once caches are warm.
+//
 //   bench_sim_selfperf [--events N] [--syscalls N] [--json PATH]
 //                      [--min-events-per-sec X] [--min-sweep-speedup X]
+//                      [--min-fork-speedup X] [--max-allocs-per-syscall X]
 //
-// --min-events-per-sec and --min-sweep-speedup make the binary a CI
-// gate: exit 1 if the current engine's events/sec or the checkpoint
-// sweep speedup lands under the floor.
+// The --min-*/--max-* flags make the binary a CI gate: exit 1 if any
+// measured value lands on the wrong side of its floor/ceiling.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -40,6 +50,8 @@
 #include <utility>
 #include <vector>
 
+#include "bench_common.h"
+#include "core/buffer_pool.h"
 #include "core/checkpoint.h"
 #include "core/testbed.h"
 #include "obs/report.h"
@@ -140,7 +152,15 @@ double events_per_sec(std::uint64_t total_events, int chains) {
 
 // --- syscalls/sec --------------------------------------------------------
 
-double syscalls_per_sec(netstore::core::Protocol proto, std::uint64_t ops) {
+struct SyscallPerf {
+  double ops_per_sec = 0.0;
+  // BufferPool fallback allocations per warm op: frames the free list
+  // could not serve during the measured loop.  ~0 in steady state.
+  double allocs_per_syscall = 0.0;
+};
+
+SyscallPerf syscalls_per_sec(netstore::core::Protocol proto,
+                             std::uint64_t ops) {
   netstore::core::Testbed bed(proto);
   constexpr std::uint32_t kFileBytes = 64 * 1024;
   constexpr std::uint32_t kReadBytes = 4 * 1024;
@@ -154,14 +174,23 @@ double syscalls_per_sec(netstore::core::Protocol proto, std::uint64_t ops) {
   std::vector<std::uint8_t> rd(kReadBytes);
   (void)bed.vfs().read(*fd, 0, rd);  // warm the cache stack
 
+  auto& pool = netstore::core::BufferPool::instance();
+  const std::uint64_t fallbacks_before = pool.alloc_fallbacks();
   const auto t0 = Clock::now();
   for (std::uint64_t i = 0; i < ops; ++i) {
     const std::uint64_t off = (i % (kFileBytes / kReadBytes)) * kReadBytes;
     if (!bed.vfs().read(*fd, off, rd).ok()) std::abort();
   }
   const double dt = seconds_since(t0);
+  const std::uint64_t fallbacks =
+      pool.alloc_fallbacks() - fallbacks_before;
   (void)bed.vfs().close(*fd);
-  return static_cast<double>(ops) / dt;
+  SyscallPerf res;
+  res.ops_per_sec = static_cast<double>(ops) / dt;
+  res.allocs_per_syscall =
+      ops > 0 ? static_cast<double>(fallbacks) / static_cast<double>(ops)
+              : 0.0;
+  return res;
 }
 
 // --- sweep speedup (warm-state checkpoint/fork, DESIGN.md §13) -----------
@@ -249,10 +278,64 @@ SweepResult sweep_speedup(
   return res;
 }
 
+// --- fork cost (copy-on-write BufferPool, DESIGN.md §14) -----------------
+
+struct ForkCost {
+  netstore::core::Protocol proto;
+  std::uint64_t image_pages = 0;  // pooled pages the checkpoint shares
+  double fork_us = 0.0;           // mean wall cost of one fork
+  double page_copy_us = 0.0;      // measured alloc+copy cost of the pages
+  // What a deep-copying clone would cost relative to the CoW fork: the
+  // fork does all the metadata work either way, plus (before this pool)
+  // one heap allocation and 4 KB copy per resident page.
+  [[nodiscard]] double speedup() const {
+    return fork_us > 0 ? (fork_us + page_copy_us) / fork_us : 0.0;
+  }
+};
+
+ForkCost fork_cost(netstore::core::Protocol p) {
+  using netstore::core::Testbed;
+  ForkCost res;
+  res.proto = p;
+  Testbed proto(p);
+  warm_state(proto);
+
+  // Checkpoint construction clones every cache layer; with the pool,
+  // each resident page's refcount goes 1 -> 2, so the shared_pages delta
+  // counts exactly the pages a deep-copying clone would have copied.
+  auto& pool = netstore::core::BufferPool::instance();
+  const std::uint64_t shared_before = pool.shared_pages();
+  netstore::core::Checkpoint cp(proto);
+  res.image_pages = pool.shared_pages() - shared_before;
+
+  constexpr int kForks = 64;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kForks; ++i) {
+    auto bed = cp.fork();
+  }
+  res.fork_us = seconds_since(t0) * 1e6 / kForks;
+
+  // Measure (not assert) the removed work: one heap allocation plus one
+  // 4 KB copy per image page, what the per-layer clones used to do.
+  netstore::block::BlockBuf src;
+  src.fill(0x3c);
+  std::vector<std::unique_ptr<netstore::block::BlockBuf>> copies;
+  copies.reserve(res.image_pages);
+  const auto t1 = Clock::now();
+  for (std::uint64_t i = 0; i < res.image_pages; ++i) {
+    // Deliberately the raw allocation the pool replaced — it IS the
+    // baseline being measured.  netstore-lint: allow(raw-blockbuf-alloc)
+    copies.push_back(std::make_unique<netstore::block::BlockBuf>(src));
+  }
+  res.page_copy_us = seconds_since(t1) * 1e6;
+  return res;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--events N] [--syscalls N] [--json PATH] "
-               "[--min-events-per-sec X] [--min-sweep-speedup X]\n",
+               "[--min-events-per-sec X] [--min-sweep-speedup X] "
+               "[--min-fork-speedup X] [--max-allocs-per-syscall X]\n",
                argv0);
   return 2;
 }
@@ -270,6 +353,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   double min_events_per_sec = 0.0;
   double min_sweep_speedup = 0.0;
+  double min_fork_speedup = 0.0;
+  double max_allocs_per_syscall = -1.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -287,6 +372,10 @@ int main(int argc, char** argv) {
       min_events_per_sec = std::strtod(argv[++i], nullptr);
     } else if (arg == "--min-sweep-speedup" && has_value) {
       min_sweep_speedup = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--min-fork-speedup" && has_value) {
+      min_fork_speedup = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--max-allocs-per-syscall" && has_value) {
+      max_allocs_per_syscall = std::strtod(argv[++i], nullptr);
     } else {
       return usage(argv[0]);
     }
@@ -306,9 +395,9 @@ int main(int argc, char** argv) {
   const double legacy = events_per_sec<LegacyEnv>(n_events, kChains);
   const double speedup = legacy > 0 ? current / legacy : 0.0;
 
-  const double sys_iscsi =
+  const SyscallPerf sys_iscsi =
       syscalls_per_sec(netstore::core::Protocol::kIscsi, n_syscalls);
-  const double sys_nfsv3 =
+  const SyscallPerf sys_nfsv3 =
       syscalls_per_sec(netstore::core::Protocol::kNfsV3, n_syscalls);
 
   const SweepResult sweep = sweep_speedup(
@@ -317,18 +406,38 @@ int main(int argc, char** argv) {
   const double sweep_x =
       sweep.forked_ms > 0 ? sweep.scratch_ms / sweep.forked_ms : 0.0;
 
+  std::vector<ForkCost> forks;
+  for (netstore::core::Protocol p :
+       {netstore::core::Protocol::kNfsV2, netstore::core::Protocol::kNfsV3,
+        netstore::core::Protocol::kNfsV4, netstore::core::Protocol::kIscsi}) {
+    forks.push_back(fork_cost(p));
+  }
+
   std::printf("%-24s %16s\n", "metric", "per second");
   std::printf("%-24s %16.0f\n", "events (current)", current);
   std::printf("%-24s %16.0f\n", "events (legacy)", legacy);
   std::printf("%-24s %16.2f\n", "events speedup", speedup);
-  std::printf("%-24s %16.0f\n", "syscalls (iSCSI warm)", sys_iscsi);
-  std::printf("%-24s %16.0f\n", "syscalls (NFSv3 warm)", sys_nfsv3);
+  std::printf("%-24s %16.0f\n", "syscalls (iSCSI warm)", sys_iscsi.ops_per_sec);
+  std::printf("%-24s %16.0f\n", "syscalls (NFSv3 warm)", sys_nfsv3.ops_per_sec);
   std::printf("task inline/heap constructions: %llu / %llu\n",
               static_cast<unsigned long long>(inline_delta),
               static_cast<unsigned long long>(heap_delta));
+  std::printf("pool allocs/syscall: iSCSI %.4f, NFSv3 %.4f\n",
+              sys_iscsi.allocs_per_syscall, sys_nfsv3.allocs_per_syscall);
   std::printf("sweep (%d points): scratch %.0f ms, forked %.0f ms, "
               "speedup %.2fx\n",
               sweep.points, sweep.scratch_ms, sweep.forked_ms, sweep_x);
+  double min_fork_x = 0.0;
+  for (const ForkCost& fc : forks) {
+    if (min_fork_x == 0.0 || fc.speedup() < min_fork_x) {
+      min_fork_x = fc.speedup();
+    }
+    std::printf("fork %-6s: %5llu pages, fork %.1f us, page copies "
+                "+%.1f us, speedup %.2fx\n",
+                netstore::core::to_string(fc.proto),
+                static_cast<unsigned long long>(fc.image_pages), fc.fork_us,
+                fc.page_copy_us, fc.speedup());
+  }
 
   if (!json_path.empty()) {
     netstore::obs::Report report("bench_sim_selfperf",
@@ -337,8 +446,10 @@ int main(int argc, char** argv) {
         "selfperf", {"benchmark", "engine", "ops", "ops_per_sec"});
     t.row({"events", "current", n_events + kChains, current});
     t.row({"events", "legacy", n_events + kChains, legacy});
-    t.row({"syscalls_iscsi_warm", "current", n_syscalls, sys_iscsi});
-    t.row({"syscalls_nfsv3_warm", "current", n_syscalls, sys_nfsv3});
+    t.row({"syscalls_iscsi_warm", "current", n_syscalls,
+           sys_iscsi.ops_per_sec});
+    t.row({"syscalls_nfsv3_warm", "current", n_syscalls,
+           sys_nfsv3.ops_per_sec});
     auto& s = report.table("task_storage", {"counter", "value"});
     s.row({"inline_constructions", inline_delta});
     s.row({"heap_constructions", heap_delta});
@@ -348,6 +459,20 @@ int main(int argc, char** argv) {
     sw.row({"scratch_ms", sweep.scratch_ms});
     sw.row({"forked_ms", sweep.forked_ms});
     sw.row({"sweep_speedup_x", sweep_x});
+    auto& fk = report.table(
+        "fork_cost",
+        {"protocol", "image_pages", "fork_us", "page_copy_us", "speedup_x"});
+    for (const ForkCost& fc : forks) {
+      fk.row({netstore::core::to_string(fc.proto), fc.image_pages, fc.fork_us,
+              fc.page_copy_us, fc.speedup()});
+    }
+    auto& ap = report.table("pool_path", {"metric", "value"});
+    ap.row({"allocs_per_syscall_iscsi", sys_iscsi.allocs_per_syscall});
+    ap.row({"allocs_per_syscall_nfsv3", sys_nfsv3.allocs_per_syscall});
+    // Pool telemetry rides along unconditionally here: this bench exists
+    // to watch the simulator's own mechanics, and its output is not part
+    // of any byte-identity comparison.
+    report.add_snapshot("pool", netstore::bench::pool_snapshot());
     if (!netstore::obs::Report::write_file(json_path, report.json())) {
       return 1;
     }
@@ -363,6 +488,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: sweep speedup %.2fx below floor %.2fx\n",
                  sweep_x, min_sweep_speedup);
     return 1;
+  }
+  if (min_fork_speedup > 0 && min_fork_x < min_fork_speedup) {
+    std::fprintf(stderr, "FAIL: fork speedup %.2fx below floor %.2fx\n",
+                 min_fork_x, min_fork_speedup);
+    return 1;
+  }
+  if (max_allocs_per_syscall >= 0) {
+    const double worst =
+        std::max(sys_iscsi.allocs_per_syscall, sys_nfsv3.allocs_per_syscall);
+    if (worst > max_allocs_per_syscall) {
+      std::fprintf(stderr,
+                   "FAIL: %.4f pool allocs/syscall above ceiling %.4f\n",
+                   worst, max_allocs_per_syscall);
+      return 1;
+    }
   }
   return 0;
 }

@@ -21,8 +21,8 @@ CachedBlockDevice::Entry& CachedBlockDevice::touch(LruList::iterator it) {
 
 void CachedBlockDevice::insert(Lba lba, BlockView data, bool dirty) {
   while (map_.size() >= capacity_) evict_one();
-  lru_.push_front(Entry{lba, std::make_unique<BlockBuf>(), dirty});
-  std::memcpy(lru_.front().data->data(), data.data(), kBlockSize);
+  lru_.push_front(Entry{lba, core::BufferPool::instance().alloc(), dirty});
+  std::memcpy(lru_.front().data.mutable_data(), data.data(), kBlockSize);
   map_[lba] = lru_.begin();
   if (dirty) dirty_count_++;
 }
@@ -48,7 +48,7 @@ void CachedBlockDevice::evict_one() {
 
 void CachedBlockDevice::writeback(Lba lba, Entry& e, WriteMode mode) {
   NETSTORE_CHECK(e.dirty, "writeback of a clean block");
-  inner_.write(lba, 1, std::span<const std::uint8_t>{e.data->data(), kBlockSize},
+  inner_.write(lba, 1, std::span<const std::uint8_t>{e.data.data(), kBlockSize},
                mode);
   e.dirty = false;
   dirty_count_--;
@@ -70,7 +70,7 @@ void CachedBlockDevice::read(Lba lba, std::uint32_t nblocks,
     if (it != map_.end()) {
       stats_.hits.add(1);
       Entry& e = touch(it->second);
-      std::memcpy(dst, e.data->data(), kBlockSize);
+      std::memcpy(dst, e.data.data(), kBlockSize);
       continue;
     }
     stats_.misses.add(1);
@@ -101,7 +101,9 @@ void CachedBlockDevice::write(Lba lba, std::uint32_t nblocks,
     auto it = map_.find(lba + i);
     if (it != map_.end()) {
       Entry& e = touch(it->second);
-      std::memcpy(e.data->data(), src.data(), kBlockSize);
+      // Full overwrite: replace a shared frame instead of copying it.
+      if (e.data.shared()) e.data = core::BufferPool::instance().alloc();
+      std::memcpy(e.data.mutable_data(), src.data(), kBlockSize);
       if (!e.dirty) {
         e.dirty = true;
         dirty_count_++;

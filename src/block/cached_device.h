@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "block/device.h"
+#include "core/buffer_pool.h"
 #include "sim/stats.h"
 
 namespace netstore::block {
@@ -55,7 +56,7 @@ class CachedBlockDevice final : public BlockDevice {
  private:
   struct Entry {
     Lba lba;
-    std::unique_ptr<BlockBuf> data;
+    core::BufRef data;  // pooled frame
     bool dirty = false;
   };
   using LruList = std::list<Entry>;

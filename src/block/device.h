@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "block/block.h"
+#include "core/buffer_pool.h"
 #include "sim/time.h"
 
 namespace netstore::block {
@@ -35,6 +36,26 @@ class BlockDevice {
   /// Reads `nblocks` at `lba` into `out`, blocking until data is available.
   virtual void read(Lba lba, std::uint32_t nblocks,
                     std::span<std::uint8_t> out) = 0;
+
+  /// Reads `nblocks` at `lba` as refcounted pool pages, appending one
+  /// handle per block to `out`.  Contents and timing identical to
+  /// read().  The default stages through read() into fresh pool frames
+  /// (same copy count as a caller-staged read); devices whose backing
+  /// store already holds pooled frames override it to share them —
+  /// zero copies and zero allocations on the warm path.
+  virtual void read_refs(Lba lba, std::uint32_t nblocks,
+                         std::vector<core::BufRef>& out) {
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(nblocks) *
+                                  kBlockSize);
+    read(lba, nblocks, buf);
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      core::BufRef ref = core::BufferPool::instance().alloc();
+      std::memcpy(ref.mutable_data(),
+                  buf.data() + static_cast<std::size_t>(i) * kBlockSize,
+                  kBlockSize);
+      out.push_back(std::move(ref));
+    }
+  }
 
   /// Writes `nblocks` at `lba`.
   virtual void write(Lba lba, std::uint32_t nblocks,

@@ -14,18 +14,25 @@ void Disk::read_data(Lba lba, MutBlockView out) const {
   if (it == store_.end()) {
     std::fill(out.begin(), out.end(), std::uint8_t{0});
   } else {
-    std::memcpy(out.data(), it->second->data(), kBlockSize);
+    std::memcpy(out.data(), it->second.data(), kBlockSize);
   }
+}
+
+core::BufRef Disk::read_ref(Lba lba) const {
+  NETSTORE_CHECK_LT(lba, config_.block_count);
+  const auto it = store_.find(lba);
+  if (it == store_.end()) return core::BufferPool::instance().zero_page();
+  return it->second;
 }
 
 void Disk::write_data(Lba lba, BlockView data) {
   NETSTORE_CHECK_LT(lba, config_.block_count);
   auto& slot = store_[lba];
-  // Un-share before mutating: a buffer still referenced by a clone is
-  // frozen (copy-on-write).  The full block is overwritten, so a fresh
-  // buffer needs no copy of the old contents.
-  if (!slot || slot.use_count() > 1) slot = std::make_shared<BlockBuf>();
-  std::memcpy(slot->data(), data.data(), kBlockSize);
+  // Un-share before mutating: a frame still referenced by a clone (or a
+  // cache layer above) is frozen, copy-on-write.  The full block is
+  // overwritten, so a fresh frame needs no copy of the old contents.
+  if (!slot || slot.shared()) slot = core::BufferPool::instance().alloc();
+  std::memcpy(slot.mutable_data(), data.data(), kBlockSize);
 }
 
 std::unique_ptr<Disk> Disk::clone() const {

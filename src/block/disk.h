@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "block/block.h"
+#include "core/buffer_pool.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 
@@ -46,6 +47,11 @@ class Disk {
 
   /// Copies stored bytes for `lba` into `out` (zeros if never written).
   void read_data(Lba lba, MutBlockView out) const;
+
+  /// Shares the stored page for `lba` (the pool zero page if never
+  /// written): zero-copy read.  The handle stays valid after the block
+  /// is overwritten — writes un-share, they never mutate in place.
+  [[nodiscard]] core::BufRef read_ref(Lba lba) const;
 
   /// Stores `data` at `lba`.
   void write_data(Lba lba, BlockView data);
@@ -83,13 +89,13 @@ class Disk {
   [[nodiscard]] sim::Duration seek_time(Lba from, Lba to) const;
 
   DiskConfig config_;
-  // Copy-on-write block store.  clone() copies the map but *shares* the
-  // block buffers; write_data() un-shares a buffer (use_count > 1) before
-  // mutating it.  Writes always replace the full block, so a shared
-  // buffer is immutable for as long as it stays shared.  Refcount ops are
-  // atomic, and fork()/world-handoff points synchronize, so clones may
-  // run on different threads.
-  std::unordered_map<Lba, std::shared_ptr<BlockBuf>> store_;
+  // Copy-on-write block store of pooled frames.  clone() copies the map
+  // but *shares* the frames; write_data() un-shares a frame (shared())
+  // before mutating it.  Writes always replace the full block, so a
+  // shared frame is immutable for as long as it stays shared.  Refcount
+  // ops are atomic, and fork()/world-handoff points synchronize, so
+  // clones may run on different threads.
+  std::unordered_map<Lba, core::BufRef> store_;
   sim::Time read_busy_until_ = 0;
   sim::Time write_busy_until_ = 0;
   Lba next_sequential_read_ = 0;

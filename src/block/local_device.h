@@ -36,6 +36,15 @@ class LocalBlockDevice final : public BlockDevice {
     env_.advance_to(done);
   }
 
+  void read_refs(Lba lba, std::uint32_t nblocks,
+                 std::vector<core::BufRef>& out) override {
+    // Zero-copy: shares the array's stored frames.  Same service-time
+    // accounting as read().
+    const sim::Time done = array_.read_refs(env_.now(), lba, nblocks, out);
+    charge_media(done - env_.now());
+    env_.advance_to(done);
+  }
+
   void write(Lba lba, std::uint32_t nblocks,
              std::span<const std::uint8_t> data, WriteMode mode) override {
     finish_write(array_.write(env_.now(), lba, nblocks, data), mode);

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "block/device.h"
+#include "core/buffer_pool.h"
 
 namespace netstore::block {
 
@@ -25,7 +26,7 @@ class MemBlockDevice final : public BlockDevice {
       if (it == store_.end()) {
         std::memset(dst, 0, kBlockSize);
       } else {
-        std::memcpy(dst, it->second->data(), kBlockSize);
+        std::memcpy(dst, it->second.data(), kBlockSize);
       }
     }
     reads_++;
@@ -35,8 +36,9 @@ class MemBlockDevice final : public BlockDevice {
              std::span<const std::uint8_t> data, WriteMode) override {
     for (std::uint32_t i = 0; i < nblocks; ++i) {
       auto& slot = store_[lba + i];
-      if (!slot) slot = std::make_unique<BlockBuf>();
-      std::memcpy(slot->data(),
+      // Full overwrite: replace a shared frame instead of copying it.
+      if (!slot || slot.shared()) slot = core::BufferPool::instance().alloc();
+      std::memcpy(slot.mutable_data(),
                   data.data() + static_cast<std::size_t>(i) * kBlockSize,
                   kBlockSize);
     }
@@ -51,7 +53,7 @@ class MemBlockDevice final : public BlockDevice {
 
  private:
   std::uint64_t blocks_;
-  std::unordered_map<Lba, std::unique_ptr<BlockBuf>> store_;
+  std::unordered_map<Lba, core::BufRef> store_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t flushes_ = 0;

@@ -121,6 +121,36 @@ sim::Time Raid5Array::read(sim::Time start, Lba lba, std::uint32_t nblocks,
   return done;
 }
 
+sim::Time Raid5Array::read_refs(sim::Time start, Lba lba,
+                                std::uint32_t nblocks,
+                                std::vector<core::BufRef>& out) {
+  NETSTORE_CHECK_LE(lba + nblocks, logical_blocks_);
+  sim::Time done = start;
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    const Mapping m = map(lba + i);
+    if (static_cast<int>(m.data_disk) == failed_disk_) {
+      // Degraded read: every surviving spindle contributes one block.
+      core::BufRef ref = core::BufferPool::instance().alloc();
+      reconstruct_block(m, ref.mutable_view());
+      out.push_back(std::move(ref));
+      for (std::uint32_t d = 0; d < config_.num_disks; ++d) {
+        if (static_cast<int>(d) == failed_disk_) continue;
+        done = std::max(done,
+                        disks_[d]->submit(controller(start, false),
+                                          m.physical_lba, 1,
+                                          /*is_write=*/false));
+      }
+    } else {
+      out.push_back(disks_[m.data_disk]->read_ref(m.physical_lba));
+      done = std::max(done,
+                      disks_[m.data_disk]->submit(controller(start, false),
+                                                  m.physical_lba, 1,
+                                                  /*is_write=*/false));
+    }
+  }
+  return done;
+}
+
 sim::Time Raid5Array::write(sim::Time start, Lba lba, std::uint32_t nblocks,
                             std::span<const std::uint8_t> data) {
   NETSTORE_CHECK_GE(data.size(), static_cast<std::size_t>(nblocks) * kBlockSize);

@@ -46,6 +46,12 @@ class Raid5Array {
   sim::Time read(sim::Time start, Lba lba, std::uint32_t nblocks,
                  std::span<std::uint8_t> out);
 
+  /// Zero-copy variant of read(): appends one pooled handle per block to
+  /// `out`, sharing the member disks' stored frames (degraded blocks are
+  /// reconstructed into fresh frames).  Timing identical to read().
+  sim::Time read_refs(sim::Time start, Lba lba, std::uint32_t nblocks,
+                      std::vector<core::BufRef>& out);
+
   /// Writes `nblocks` starting at `lba`; full-stripe writes skip the
   /// read-modify-write. Returns completion time.
   sim::Time write(sim::Time start, Lba lba, std::uint32_t nblocks,

@@ -26,7 +26,7 @@ std::unique_ptr<TimedCache> TimedCache::clone(Raid5Array& array) const {
   for (const auto& kv : map_) {
     Entry& e = copy->map_[kv.first];
     e.lba = kv.second.lba;
-    e.data = std::make_unique<BlockBuf>(*kv.second.data);
+    e.data = kv.second.data;  // shares the frame (copy-on-write)
     e.dirty = kv.second.dirty;
   }
   core::clone_lru_order(lru_, copy->lru_, [&copy](const Entry& src) {
@@ -38,7 +38,8 @@ std::unique_ptr<TimedCache> TimedCache::clone(Raid5Array& array) const {
   return copy;
 }
 
-void TimedCache::insert(sim::Time start, Lba lba, BlockView data, bool dirty) {
+void TimedCache::insert(sim::Time start, Lba lba, core::BufRef data,
+                        bool dirty) {
   while (map_.size() >= capacity_) {
     // Evict coldest clean block; write back coldest dirty if none clean.
     Entry* victim = nullptr;
@@ -51,7 +52,7 @@ void TimedCache::insert(sim::Time start, Lba lba, BlockView data, bool dirty) {
     if (victim == nullptr) {
       victim = lru_.back();
       array_.write(start, victim->lba, 1,
-                   std::span<const std::uint8_t>{victim->data->data(),
+                   std::span<const std::uint8_t>{victim->data.data(),
                                                  kBlockSize});
       dirty_count_--;
     }
@@ -61,8 +62,7 @@ void TimedCache::insert(sim::Time start, Lba lba, BlockView data, bool dirty) {
   }
   Entry& e = map_[lba];
   e.lba = lba;
-  e.data = std::make_unique<BlockBuf>();
-  std::memcpy(e.data->data(), data.data(), kBlockSize);
+  e.data = std::move(data);  // adopts the handle: no copy, no allocation
   e.dirty = dirty;
   lru_.push_front(&e);
   if (dirty) dirty_count_++;
@@ -77,23 +77,21 @@ sim::Time TimedCache::read(sim::Time start, Lba lba, std::uint32_t nblocks,
     if (it != map_.end()) {
       hits_.add(1);
       lru_.touch(&it->second);
-      std::memcpy(dst, it->second.data->data(), kBlockSize);
+      std::memcpy(dst, it->second.data.data(), kBlockSize);
       continue;
     }
-    // Coalesce the contiguous miss run into one array read.
+    // Coalesce the contiguous miss run into one array read.  The array
+    // hands back shared frames: the cache adopts them (no copy, no
+    // allocation) and only the PDU staging copy into `out` remains.
     std::uint32_t run = 1;
     while (i + run < nblocks && !map_.contains(lba + i + run)) run++;
     misses_.add(run);
-    done = std::max(
-        done, array_.read(start, lba + i, run,
-                          std::span<std::uint8_t>{
-                              dst, static_cast<std::size_t>(run) * kBlockSize}));
+    miss_refs_.clear();
+    done = std::max(done, array_.read_refs(start, lba + i, run, miss_refs_));
     for (std::uint32_t j = 0; j < run; ++j) {
-      insert(start, lba + i + j,
-             BlockView{out.data() +
-                           static_cast<std::size_t>(i + j) * kBlockSize,
-                       kBlockSize},
-             /*dirty=*/false);
+      std::memcpy(out.data() + static_cast<std::size_t>(i + j) * kBlockSize,
+                  miss_refs_[j].data(), kBlockSize);
+      insert(start, lba + i + j, std::move(miss_refs_[j]), /*dirty=*/false);
     }
     i += run - 1;
   }
@@ -121,13 +119,17 @@ sim::Time TimedCache::write_impl(sim::Time start, Lba lba,
     if (it != map_.end()) {
       lru_.touch(&it->second);
       Entry& e = it->second;
-      std::memcpy(e.data->data(), block.data(), kBlockSize);
+      // Full-block overwrite: a shared frame is replaced, not copied.
+      if (e.data.shared()) e.data = core::BufferPool::instance().alloc();
+      std::memcpy(e.data.mutable_data(), block.data(), kBlockSize);
       if (!e.dirty) {
         e.dirty = true;
         dirty_count_++;
       }
     } else {
-      insert(start, lba + i, block, /*dirty=*/true);
+      core::BufRef ref = core::BufferPool::instance().alloc();
+      std::memcpy(ref.mutable_data(), block.data(), kBlockSize);
+      insert(start, lba + i, std::move(ref), /*dirty=*/true);
     }
   }
   if (dirty_count_ > dirty_high_water_) {
@@ -159,7 +161,7 @@ sim::Time TimedCache::writeback_down_to(sim::Time start,
     }
     frags.clear();
     for (std::size_t j = 0; j < run; ++j) {
-      frags.push_back(BlockView{*dirty[i + j]->data});
+      frags.push_back(dirty[i + j]->data.view());
       dirty[i + j]->dirty = false;
       dirty_count_--;
     }

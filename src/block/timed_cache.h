@@ -12,9 +12,11 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "block/block.h"
 #include "block/raid5.h"
+#include "core/buffer_pool.h"
 #include "core/intrusive_lru.h"
 #include "sim/stats.h"
 #include "sim/time.h"
@@ -79,11 +81,11 @@ class TimedCache {
     Entry* lru_prev = nullptr;  // intrusive LRU links (core::LruList)
     Entry* lru_next = nullptr;
     Lba lba = 0;
-    std::unique_ptr<BlockBuf> data;
+    core::BufRef data;  // pooled frame, shared with clones and the array
     bool dirty = false;
   };
 
-  void insert(sim::Time start, Lba lba, BlockView data, bool dirty);
+  void insert(sim::Time start, Lba lba, core::BufRef data, bool dirty);
   sim::Time write_impl(sim::Time start, Lba lba, std::uint32_t nblocks,
                        BlockSource src);
   sim::Time writeback_down_to(sim::Time start, std::uint64_t target_dirty);
@@ -98,6 +100,7 @@ class TimedCache {
   sim::Counter hits_;
   sim::Counter misses_;
   obs::Tracer* tracer_ = nullptr;
+  std::vector<core::BufRef> miss_refs_;  // read() scratch, reused across calls
 };
 
 }  // namespace netstore::block

@@ -20,7 +20,7 @@ std::unique_ptr<Bcache> Bcache::clone(block::BlockDevice& dev) const {
                    "cannot clone a Bcache with an in-flight read");
     Entry& e = copy->map_[kv.first];
     e.lba = kv.second.lba;
-    e.buf = std::make_unique<block::BlockBuf>(*kv.second.buf);
+    e.buf = kv.second.buf;  // shares the frame (copy-on-write)
     e.dirty = kv.second.dirty;
   }
   core::clone_lru_order(lru_, copy->lru_, [&copy](const Entry& src) {
@@ -36,7 +36,8 @@ Bcache::Entry& Bcache::insert(block::Lba lba, bool read_from_device) {
   maybe_evict();
   Entry& e = map_[lba];
   e.lba = lba;
-  e.buf = std::make_unique<block::BlockBuf>();
+  e.buf = core::BufferPool::instance().alloc();
+  e.buf.mutable_block().fill(0);
   // Register before the device read: the read advances the clock, which
   // may fire daemons that re-enter this cache; they must see a stable
   // map/LRU.  The entry is pinned (`loading`) until the data is in.
@@ -44,10 +45,9 @@ Bcache::Entry& Bcache::insert(block::Lba lba, bool read_from_device) {
   if (read_from_device) {
     e.loading = true;
     dev_.read(lba, 1,
-              std::span<std::uint8_t>{e.buf->data(), block::kBlockSize});
+              std::span<std::uint8_t>{e.buf.mutable_data(),
+                                      block::kBlockSize});
     e.loading = false;
-  } else {
-    e.buf->fill(0);
   }
   return e;
 }
@@ -85,20 +85,35 @@ block::BlockBuf& Bcache::get(block::Lba lba) {
   if (it != map_.end()) {
     hits_.add(1);
     lru_.touch(&it->second);
-    return *it->second.buf;
+    return it->second.buf.mutable_block();
   }
   misses_.add(1);
-  return *insert(lba, /*read_from_device=*/true).buf;
+  return insert(lba, /*read_from_device=*/true).buf.mutable_block();
+}
+
+core::BufRef Bcache::get_ref(block::Lba lba) {
+  auto it = map_.find(lba);
+  if (it != map_.end()) {
+    hits_.add(1);
+    lru_.touch(&it->second);
+    return it->second.buf;
+  }
+  misses_.add(1);
+  return insert(lba, /*read_from_device=*/true).buf;
 }
 
 block::BlockBuf& Bcache::get_new(block::Lba lba) {
   auto it = map_.find(lba);
   if (it != map_.end()) {
     lru_.touch(&it->second);
-    it->second.buf->fill(0);
-    return *it->second.buf;
+    Entry& e = it->second;
+    // Full overwrite: replace a shared frame instead of copying it.
+    if (e.buf.shared()) e.buf = core::BufferPool::instance().alloc();
+    block::BlockBuf& buf = e.buf.mutable_block();
+    buf.fill(0);
+    return buf;
   }
-  return *insert(lba, /*read_from_device=*/false).buf;
+  return insert(lba, /*read_from_device=*/false).buf.mutable_block();
 }
 
 void Bcache::mark_dirty(block::Lba lba) {
@@ -120,7 +135,7 @@ void Bcache::checkpoint(block::Lba lba, block::WriteMode mode) {
   if (it == map_.end() || !it->second.dirty) return;
   Entry& e = it->second;
   dev_.write(lba, 1,
-             std::span<const std::uint8_t>{e.buf->data(), block::kBlockSize},
+             std::span<const std::uint8_t>{e.buf.data(), block::kBlockSize},
              mode);
   e.dirty = false;
   dirty_count_--;

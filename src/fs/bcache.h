@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "block/device.h"
+#include "core/buffer_pool.h"
 #include "core/intrusive_lru.h"
 #include "sim/stats.h"
 
@@ -27,7 +28,16 @@ class Bcache {
 
   /// Returns the buffer for `lba`, reading it from the device on a miss
   /// (blocking).  The reference is valid until the next Bcache call.
+  /// Mutable access: a block still shared with a fork is un-shared here,
+  /// lazily, so fork cost is O(blocks touched afterwards).
   block::BlockBuf& get(block::Lba lba);
+
+  /// Shared read-only handle to the block — the zero-copy read used by
+  /// journal staging.  Counter and recency behaviour is identical to
+  /// get() (one hit or miss, one LRU touch), so swapping get() for
+  /// get_ref() never perturbs metric snapshots.  The handle is a
+  /// snapshot: later get() mutations un-share away from it.
+  [[nodiscard]] core::BufRef get_ref(block::Lba lba);
 
   /// Returns a zeroed buffer for `lba` *without* reading the device — for
   /// freshly allocated blocks the caller fully initializes.
@@ -75,7 +85,7 @@ class Bcache {
     Entry* lru_prev = nullptr;  // intrusive LRU links (core::LruList)
     Entry* lru_next = nullptr;
     block::Lba lba = 0;
-    std::unique_ptr<block::BlockBuf> buf;
+    core::BufRef buf;  // pooled frame, shared with clones until written
     bool dirty = false;
     // Set while the buffer is being filled from the device.  The device
     // read advances the virtual clock, which can fire the journal-commit

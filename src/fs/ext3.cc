@@ -1,6 +1,7 @@
 #include "fs/ext3.h"
 
 #include <algorithm>
+#include "core/buffer_pool.h"
 #include "core/check.h"
 #include <cstring>
 #include <stdexcept>
@@ -1062,10 +1063,10 @@ Status Ext3Fs::setattr(Ino ino, const SetAttr& sa) {
         if (last && *last != 0) {
           const std::uint64_t index = new_size / kBlockSize;
           if (!pages_->contains(ino, index)) {
-            block::BlockBuf buf{};
-            dev_.read(*last, 1,
-                      std::span<std::uint8_t>{buf.data(), kBlockSize});
-            pages_->insert_clean(ino, index, *last, buf, env_.now());
+            std::vector<core::BufRef> refs;
+            dev_.read_refs(*last, 1, refs);
+            pages_->insert_clean_ref(ino, index, *last, std::move(refs[0]),
+                                     env_.now());
           }
           block::BlockBuf& page = pages_->write_page(ino, index, *last);
           std::memset(page.data() + tail, 0, kBlockSize - tail);
@@ -1102,9 +1103,10 @@ Result<std::uint32_t> Ext3Fs::read(Ino ino, std::uint64_t off,
       Result<Lba> lba = bmap(ino, ri, index, /*alloc=*/false, dummy);
       if (!lba) return lba.error();
       if (*lba == 0) {
-        // Hole: zeros, no device access.
-        block::BlockBuf buf{};
-        pages_->insert_clean(ino, index, 0, buf, env_.now());
+        // Hole: share the pool's zero page — no device access, no copy.
+        pages_->insert_clean_ref(ino, index, 0,
+                                 core::BufferPool::instance().zero_page(),
+                                 env_.now());
       } else {
         // Demand read.  Within this request, coalesce the contiguous
         // uncached run into one device command (the block layer merges
@@ -1120,16 +1122,14 @@ Result<std::uint32_t> Ext3Fs::read(Ino ino, std::uint64_t off,
           prev = *next;
           run++;
         }
-        std::vector<std::uint8_t> buf(static_cast<std::size_t>(run) *
-                                      kBlockSize);
-        dev_.read(*lba, run, buf);
+        // Zero-copy fill: the device hands back shared frames and the
+        // page cache adopts the handles.
+        std::vector<core::BufRef> refs;
+        refs.reserve(run);
+        dev_.read_refs(*lba, run, refs);
         for (std::uint32_t j = 0; j < run; ++j) {
-          pages_->insert_clean(
-              ino, index + j, *lba + j,
-              block::BlockView{buf.data() +
-                                   static_cast<std::size_t>(j) * kBlockSize,
-                               kBlockSize},
-              env_.now());
+          pages_->insert_clean_ref(ino, index + j, *lba + j,
+                                   std::move(refs[j]), env_.now());
         }
       }
       page = pages_->find(ino, index);
@@ -1206,9 +1206,10 @@ Result<std::uint32_t> Ext3Fs::write(Ino ino, std::uint64_t off,
     const bool partial = len < kBlockSize;
     if (partial && was_mapped && !pages_->contains(ino, index) &&
         pos < ri.size + len) {
-      block::BlockBuf buf{};
-      dev_.read(*lba, 1, std::span<std::uint8_t>{buf.data(), kBlockSize});
-      pages_->insert_clean(ino, index, *lba, buf, env_.now());
+      std::vector<core::BufRef> refs;
+      dev_.read_refs(*lba, 1, refs);
+      pages_->insert_clean_ref(ino, index, *lba, std::move(refs[0]),
+                               env_.now());
     }
     block::BlockBuf& page = pages_->write_page(ino, index, *lba);
     std::memcpy(page.data() + page_off, in.data() + done, len);

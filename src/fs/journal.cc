@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/buffer_pool.h"
 #include "core/check.h"
 
 namespace netstore::fs {
@@ -109,23 +110,30 @@ void Journal::commit(bool wait) {
   if (needed > journal_free_blocks()) checkpoint_all();
   NETSTORE_CHECK_LE(needed, journal_free_blocks(), "journal too small");
 
-  // Serialize descriptor(s) + logged block images into one contiguous
-  // buffer; on the wire this is a small number of large sequential
-  // writes — the aggregation the paper measures.
-  std::vector<std::uint8_t> run;
-  run.reserve(static_cast<std::size_t>(ndesc + count + nrevoke) * kBlockSize);
+  // Gather descriptor(s) + logged block images as scatter-gather
+  // fragments; on the wire this is still a small number of large
+  // sequential writes — the aggregation the paper measures.  Logged
+  // blocks are shared bcache handles (get_ref), not copies: the refs
+  // pin each block's contents as of this commit, so a later mutation
+  // un-shares away from the staged image instead of corrupting it.
+  std::vector<core::BufRef> refs;
+  std::vector<block::BlockView> frags;
+  refs.reserve(ndesc + count + nrevoke);
+  frags.reserve(ndesc + count + nrevoke);
+  auto stage_record = [&](core::BufRef rec) {
+    frags.push_back(rec.view());
+    refs.push_back(std::move(rec));
+  };
   std::uint32_t tagged = 0;
   while (tagged < count) {
     const std::uint32_t batch =
         std::min(count - tagged, JournalDescriptor::kMaxTags);
     JournalDescriptor desc{.sequence = next_sequence_, .count = batch};
-    run.resize(run.size() + kBlockSize);
-    desc.encode(
-        block::MutBlockView{run.data() + run.size() - kBlockSize, kBlockSize},
-        running_.data() + tagged);
+    core::BufRef desc_buf = core::BufferPool::instance().alloc();
+    desc.encode(desc_buf.mutable_view(), running_.data() + tagged);
+    stage_record(std::move(desc_buf));
     for (std::uint32_t i = 0; i < batch; ++i) {
-      const block::BlockBuf& buf = bcache_.get(running_[tagged + i]);
-      run.insert(run.end(), buf.begin(), buf.end());
+      stage_record(bcache_.get_ref(running_[tagged + i]));
     }
     tagged += batch;
   }
@@ -138,21 +146,20 @@ void Journal::commit(bool wait) {
         std::min<std::size_t>(JournalRevoke::kMaxTags,
                               revoked_pending_.size() - revoked));
     JournalRevoke rev{.sequence = next_sequence_, .count = batch};
-    run.resize(run.size() + kBlockSize);
-    rev.encode(
-        block::MutBlockView{run.data() + run.size() - kBlockSize, kBlockSize},
-        revoked_pending_.data() + revoked);
+    core::BufRef rev_buf = core::BufferPool::instance().alloc();
+    rev.encode(rev_buf.mutable_view(), revoked_pending_.data() + revoked);
+    stage_record(std::move(rev_buf));
     revoked += batch;
   }
   revoked_pending_.clear();
 
-  write_journal_blocks(run);
+  write_journal_frags(frags);
 
   // Commit record, as its own write (ext3 orders it after the data).
-  std::vector<std::uint8_t> commit_buf(kBlockSize);
-  JournalCommit{.sequence = next_sequence_}.encode(
-      block::MutBlockView{commit_buf.data(), kBlockSize});
-  write_journal_blocks(commit_buf);
+  core::BufRef commit_buf = core::BufferPool::instance().alloc();
+  JournalCommit{.sequence = next_sequence_}.encode(commit_buf.mutable_view());
+  const block::BlockView commit_frag[] = {commit_buf.view()};
+  write_journal_frags(commit_frag);
 
   if (audit_) {
     // Commit-ordering invariants: sequences leave this journal strictly
@@ -181,21 +188,16 @@ void Journal::commit(bool wait) {
   if (wait) dev_.flush();
 }
 
-void Journal::write_journal_blocks(const std::vector<std::uint8_t>& data) {
-  NETSTORE_CHECK_EQ(data.size() % kBlockSize, 0u,
-                    "journal writes are whole blocks");
-  auto nblocks = static_cast<std::uint32_t>(data.size() / kBlockSize);
+void Journal::write_journal_frags(block::FragSpan frags) {
+  const auto nblocks = static_cast<std::uint32_t>(frags.size());
   std::uint32_t written = 0;
   while (written < nblocks) {
     const std::uint32_t head =
         (sb_.journal_tail + live_blocks_) % sb_.journal_blocks;
     const std::uint32_t until_wrap = sb_.journal_blocks - head;
     const std::uint32_t chunk = std::min(nblocks - written, until_wrap);
-    dev_.write(sb_.journal_start + head, chunk,
-               std::span<const std::uint8_t>{
-                   data.data() + static_cast<std::size_t>(written) * kBlockSize,
-                   static_cast<std::size_t>(chunk) * kBlockSize},
-               block::WriteMode::kAsync);
+    dev_.write_gather(sb_.journal_start + head,
+                      frags.subspan(written, chunk), block::WriteMode::kAsync);
     live_blocks_ += chunk;
     written += chunk;
   }
@@ -221,13 +223,18 @@ void Journal::checkpoint_all() {
            bcache_.is_dirty(checkpoint_pending_[i + run])) {
       run++;
     }
-    std::vector<std::uint8_t> buf(run * kBlockSize);
+    // Shared handles instead of a staging copy: one get_ref per block
+    // (same hit accounting as the old get()), views handed to the device
+    // scatter-gather.
+    std::vector<core::BufRef> refs;
+    std::vector<block::BlockView> frags;
+    refs.reserve(run);
+    frags.reserve(run);
     for (std::size_t j = 0; j < run; ++j) {
-      const block::BlockBuf& b = bcache_.get(checkpoint_pending_[i + j]);
-      std::memcpy(buf.data() + j * kBlockSize, b.data(), kBlockSize);
+      refs.push_back(bcache_.get_ref(checkpoint_pending_[i + j]));
+      frags.push_back(refs.back().view());
     }
-    dev_.write(checkpoint_pending_[i], static_cast<std::uint32_t>(run), buf,
-               block::WriteMode::kAsync);
+    dev_.write_gather(checkpoint_pending_[i], frags, block::WriteMode::kAsync);
     for (std::size_t j = 0; j < run; ++j) {
       bcache_.note_checkpointed(checkpoint_pending_[i + j]);
     }

@@ -94,8 +94,10 @@ class Journal {
   void checkpoint_all();
 
   /// Appends whole blocks at the journal head, splitting at the wrap
-  /// boundary; advances the live region.
-  void write_journal_blocks(const std::vector<std::uint8_t>& data);
+  /// boundary; advances the live region.  The fragments are views of
+  /// pooled frames (bcache handles and encoded record blocks), handed to
+  /// the device scatter-gather — no staging copy.
+  void write_journal_frags(block::FragSpan frags);
 
   [[nodiscard]] std::uint32_t journal_free_blocks() const;
   void write_superblock();

@@ -24,7 +24,7 @@ std::unique_ptr<PageCache> PageCache::clone(sim::Env& env,
   for (const auto& kv : pages_) {
     Page& p = copy->pages_[kv.first];
     p.key = kv.second.key;
-    p.data = std::make_unique<block::BlockBuf>(*kv.second.data);
+    p.data = kv.second.data;  // shares the frame (copy-on-write)
     p.lba = kv.second.lba;
     p.dirty = kv.second.dirty;
     p.ready_at = kv.second.ready_at;
@@ -52,8 +52,8 @@ PageCache::Page& PageCache::emplace(Ino ino, std::uint64_t index,
   const Key key{ino, index};
   Page& p = pages_[key];
   p.key = key;
-  p.data = std::make_unique<block::BlockBuf>();
-  p.data->fill(0);
+  // p.data stays null: every caller assigns a frame (adopted, copied
+  // into, or zero-filled) before the page is observable.
   p.lba = lba;
   lru_.push_front(&p);
   return p;
@@ -88,7 +88,7 @@ const block::BlockBuf* PageCache::find(Ino ino, std::uint64_t index) {
   }
   stats_.hits.add(1);
   if (p->ready_at > env_.now()) env_.advance_to(p->ready_at);
-  return p->data.get();
+  return &p->data.block();
 }
 
 bool PageCache::contains(Ino ino, std::uint64_t index) const {
@@ -100,7 +100,22 @@ void PageCache::insert_clean(Ino ino, std::uint64_t index, block::Lba lba,
   Page* existing = lookup(ino, index);
   Page& p = existing ? *existing : emplace(ino, index, lba);
   if (p.dirty) return;  // never clobber dirty data with a stale read
-  std::memcpy(p.data->data(), data.data(), kBlockSize);
+  // Full overwrite: replace a shared frame instead of copying it.
+  if (!p.data || p.data.shared()) {
+    p.data = core::BufferPool::instance().alloc();
+  }
+  std::memcpy(p.data.mutable_data(), data.data(), kBlockSize);
+  p.lba = lba;
+  p.ready_at = ready_at;
+  if (ready_at > env_.now()) stats_.readahead_pages.add(1);
+}
+
+void PageCache::insert_clean_ref(Ino ino, std::uint64_t index, block::Lba lba,
+                                 core::BufRef data, sim::Time ready_at) {
+  Page* existing = lookup(ino, index);
+  Page& p = existing ? *existing : emplace(ino, index, lba);
+  if (p.dirty) return;  // never clobber dirty data with a stale read
+  p.data = std::move(data);  // adopts the handle: no copy, no allocation
   p.lba = lba;
   p.ready_at = ready_at;
   if (ready_at > env_.now()) stats_.readahead_pages.add(1);
@@ -110,6 +125,11 @@ block::BlockBuf& PageCache::write_page(Ino ino, std::uint64_t index,
                                        block::Lba lba) {
   Page* existing = lookup(ino, index);
   Page& p = existing ? *existing : emplace(ino, index, lba);
+  if (!p.data) {
+    // Fresh page: zero-filled, so a partial write leaves zeros elsewhere.
+    p.data = core::BufferPool::instance().alloc();
+    p.data.mutable_block().fill(0);
+  }
   if (p.ready_at > env_.now()) env_.advance_to(p.ready_at);
   p.lba = lba;
   if (!p.dirty) {
@@ -123,7 +143,7 @@ block::BlockBuf& PageCache::write_page(Ino ino, std::uint64_t index,
     // writes are asynchronous; only the initiator queue throttles us).
     writeback(nullptr);
   }
-  return *p.data;
+  return p.data.mutable_block();
 }
 
 void PageCache::writeback(sim::FuncRef<bool(const Key&, const Page&)> pred) {
@@ -153,7 +173,7 @@ void PageCache::writeback(sim::FuncRef<bool(const Key&, const Page&)> pred) {
     // no staging copy, still one coalesced device write per run.
     frags.clear();
     for (std::size_t j = 0; j < run; ++j) {
-      frags.push_back(block::BlockView{*victims[i + j]->data});
+      frags.push_back(victims[i + j]->data.view());
       victims[i + j]->dirty = false;
       dirty_count_--;
     }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "block/device.h"
+#include "core/buffer_pool.h"
 #include "core/intrusive_lru.h"
 #include "sim/env.h"
 #include "sim/rng.h"
@@ -58,6 +59,12 @@ class PageCache {
   /// valid (read-ahead completion time; use env.now() for demand reads).
   void insert_clean(Ino ino, std::uint64_t index, block::Lba lba,
                     block::BlockView data, sim::Time ready_at);
+
+  /// Zero-copy variant: adopts a pooled handle (e.g. straight from
+  /// BlockDevice::read_refs or the pool zero page) instead of copying.
+  /// Same semantics as insert_clean otherwise.
+  void insert_clean_ref(Ino ino, std::uint64_t index, block::Lba lba,
+                        core::BufRef data, sim::Time ready_at);
 
   /// Returns a mutable buffer for the page, marking it dirty.  The page is
   /// created zero-filled if absent.  `lba` is the disk block backing it.
@@ -115,7 +122,8 @@ class PageCache {
     Page* lru_prev = nullptr;  // intrusive LRU links (core::LruList)
     Page* lru_next = nullptr;
     Key key{};                 // owning map key, for erase via LRU walk
-    std::unique_ptr<block::BlockBuf> data;
+    core::BufRef data;         // pooled frame; may be shared with a fork,
+                               // the bcache below, or the disk store
     block::Lba lba = 0;
     bool dirty = false;
     sim::Time ready_at = 0;     // read-ahead completion

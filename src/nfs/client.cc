@@ -59,7 +59,7 @@ std::unique_ptr<NfsClient> NfsClient::clone(sim::Env& env,
     const auto src = pages_.find(*it);
     NETSTORE_CHECK(src != pages_.end(), "page LRU key with no page");
     Page& p = copy->pages_[*it];
-    p.data = std::make_unique<block::BlockBuf>(*src->second.data);
+    p.data = src->second.data;  // shares the frame (copy-on-write)
     p.ready_at = src->second.ready_at;
     p.lru_pos = it;
   }

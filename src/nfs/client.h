@@ -30,6 +30,7 @@
 #include "nfs/server.h"
 #include "rpc/rpc.h"
 #include "block/block.h"
+#include "core/buffer_pool.h"
 #include "sim/env.h"
 #include "sim/stats.h"
 
@@ -190,7 +191,7 @@ class NfsClient {
     }
   };
   struct Page {
-    std::unique_ptr<block::BlockBuf> data;
+    core::BufRef data;  // pooled frame; may be shared with a fork
     sim::Time ready_at = 0;
     std::list<PageKey>::iterator lru_pos;
   };

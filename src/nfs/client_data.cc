@@ -29,14 +29,17 @@ void NfsClient::insert_page(Fh fh, std::uint64_t index,
   if (it == pages_.end()) {
     page_lru_.push_front(key);
     Page& p = pages_[key];
-    p.data = std::make_unique<block::BlockBuf>();
+    p.data = core::BufferPool::instance().alloc();
     p.lru_pos = page_lru_.begin();
-    std::memcpy(p.data->data(), data, kBlockSize);
+    std::memcpy(p.data.mutable_data(), data, kBlockSize);
     p.ready_at = ready_at;
   } else {
     page_lru_.splice(page_lru_.begin(), page_lru_, it->second.lru_pos);
-    std::memcpy(it->second.data->data(), data, kBlockSize);
-    it->second.ready_at = ready_at;
+    Page& p = it->second;
+    // Full overwrite: replace a shared frame instead of copying it.
+    if (p.data.shared()) p.data = core::BufferPool::instance().alloc();
+    std::memcpy(p.data.mutable_data(), data, kBlockSize);
+    p.ready_at = ready_at;
   }
 }
 
@@ -373,7 +376,7 @@ fs::Result<std::uint32_t> NfsClient::read(Fh fh, std::uint64_t off,
       page = find_page(fh, index);
       NETSTORE_CHECK(page, "page vanished after fetch_range");
     }
-    std::memcpy(out.data() + done, page->data->data() + page_off, len);
+    std::memcpy(out.data() + done, page->data.data() + page_off, len);
     done += len;
     do_readahead(fh, st, index, eof_page,
                  std::max<std::uint32_t>(1, n / kBlockSize));
@@ -451,8 +454,8 @@ fs::Result<std::uint32_t> NfsClient::write(Fh fh, std::uint64_t off,
         insert_page(fh, p, zero.data(), env_.now());
         page = find_page(fh, p);
       }
-      std::memcpy(page->data->data() + in_page_off, in.data() + done + copied,
-                  len);
+      std::memcpy(page->data.mutable_data() + in_page_off,
+                  in.data() + done + copied, len);
       copied += len;
       p++;
     }
@@ -513,7 +516,7 @@ fs::Result<std::uint32_t> NfsClient::write_local(
       insert_page(fh, index, zero.data(), env_.now());
       page = find_page(fh, index);
     }
-    std::memcpy(page->data->data() + page_off, in.data() + done, len);
+    std::memcpy(page->data.mutable_data() + page_off, in.data() + done, len);
     done += len;
   }
   auto it = attrs_.find(fh);
@@ -540,7 +543,7 @@ fs::Result<std::uint32_t> NfsClient::read_local(Fh fh, std::uint64_t off,
         std::min<std::uint32_t>(n - done, kBlockSize - page_off);
     Page* page = find_page(fh, index);
     if (page) {
-      std::memcpy(out.data() + done, page->data->data() + page_off, len);
+      std::memcpy(out.data() + done, page->data.data() + page_off, len);
     } else {
       std::memset(out.data() + done, 0, len);  // sparse hole
     }

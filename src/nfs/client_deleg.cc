@@ -267,7 +267,7 @@ void NfsClient::ship_local_data(Fh provisional, Fh real) {
       std::vector<std::uint8_t> buf(run * kBlockSize);
       for (std::size_t j = 0; j < run; ++j) {
         std::memcpy(buf.data() + j * kBlockSize,
-                    file_pages[i + j].second->data->data(), kBlockSize);
+                    file_pages[i + j].second->data.data(), kBlockSize);
       }
       buf.resize(len);
       reserve_write_slot();
@@ -285,8 +285,9 @@ void NfsClient::ship_local_data(Fh provisional, Fh real) {
   // Re-key the pages so later reads hit the real handle.
   std::vector<std::pair<std::uint64_t, Page*>> moved = file_pages;
   for (auto& [index, page] : moved) {
-    block::BlockBuf copy = *page->data;
-    insert_page(real, index, copy.data(), env_.now());
+    // Hold a ref: insert_page may evict the source page mid-copy.
+    const core::BufRef data = page->data;
+    insert_page(real, index, data.data(), env_.now());
   }
   drop_pages(provisional);
 }

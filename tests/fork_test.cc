@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/buffer_pool.h"
 #include "core/checkpoint.h"
 #include "core/testbed.h"
 #include "sim/rng.h"
@@ -199,6 +200,30 @@ TEST_P(ForkTest, ForksAreIsolatedFromEachOther) {
   warm(scratch);
   ASSERT_NO_FATAL_FAILURE(drive(scratch, 2));
   EXPECT_EQ(digest(*b), digest(scratch));
+}
+
+// The fork is copy-on-write at the page level: capturing a checkpoint
+// shares every resident page through the BufferPool (pool.shared_pages
+// rises by the image size) instead of deep-copying, and driving the fork
+// un-shares pages as it dirties them.  Combined with
+// ForkedRunEqualsFromScratchRun above, this pins down that the O(dirty
+// state) fork is also observably free.
+TEST_P(ForkTest, ForkSharesPagesCopyOnWrite) {
+  core::BufferPool& pool = core::BufferPool::instance();
+  Testbed proto(GetParam());
+  warm(proto);
+
+  const std::uint64_t shared_before = pool.shared_pages();
+  Checkpoint cp(proto);
+  const std::uint64_t image_pages = pool.shared_pages() - shared_before;
+  EXPECT_GT(image_pages, 0u)
+      << "checkpoint deep-copied its pages instead of sharing them";
+
+  const std::uint64_t unshares_before = pool.unshare_ops();
+  std::unique_ptr<Testbed> forked = cp.fork();
+  ASSERT_NO_FATAL_FAILURE(drive(*forked, 3));
+  EXPECT_GT(pool.unshare_ops(), unshares_before)
+      << "driving the fork dirtied pages without any copy-on-write";
 }
 
 std::string protocol_name(const ::testing::TestParamInfo<Protocol>& info) {

@@ -13,6 +13,9 @@ Checks, per file:
     histogram {total, buckets}
   * every trace:* table: the per-component mean latencies sum to the
     total mean within 1 us (the paper's Table 4 breakdown criterion)
+  * any "pool" snapshot (BufferPool telemetry, NETSTORE_POOL_STATS=1):
+    all four pool.* counters present, and alloc_fallbacks consistent
+    with slab capacity (every fallback consumes one fresh slab frame)
 
 Exit status 0 iff every file passes.  Stdlib only.
 """
@@ -97,6 +100,39 @@ def check_trace_table(path, t):
     return True
 
 
+POOL_KEYS = (
+    "pool.slabs",
+    "pool.shared_pages",
+    "pool.unshare_ops",
+    "pool.alloc_fallbacks",
+)
+FRAMES_PER_SLAB = 256  # core::BufferPool::kFramesPerSlab
+
+
+def check_pool_snapshot(path, metrics):
+    """BufferPool telemetry: all four counters, internally consistent."""
+    ok = True
+    for key in POOL_KEYS:
+        v = metrics.get(key)
+        if not (isinstance(v, dict) and v.get("kind") == "counter"):
+            ok = fail(path, f"pool snapshot: missing counter {key!r}")
+    if not ok:
+        return False
+    slabs = metrics["pool.slabs"]["value"]
+    fallbacks = metrics["pool.alloc_fallbacks"]["value"]
+    if fallbacks > slabs * FRAMES_PER_SLAB:
+        return fail(
+            path,
+            f"pool snapshot: {fallbacks} alloc_fallbacks exceed "
+            f"{slabs} slab(s) x {FRAMES_PER_SLAB} frames of capacity",
+        )
+    if slabs > 0 and fallbacks == 0:
+        return fail(
+            path, "pool snapshot: slabs exist but no alloc_fallbacks recorded"
+        )
+    return True
+
+
 def check_report(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -145,6 +181,8 @@ def check_report(path):
         for key, v in metrics.items():
             if not check_metric(key, v):
                 ok = fail(path, f"snapshot {label!r}: bad metric {key!r}")
+        if label == "pool":
+            ok = check_pool_snapshot(path, metrics) and ok
 
     if ok:
         nrows = sum(len(t["rows"]) for t in r["tables"])

@@ -33,6 +33,15 @@
 //                   sim::Task for owned callables and sim::FuncRef for
 //                   synchronous borrows; cold configuration hooks can
 //                   suppress with a justification
+//   raw-blockbuf-alloc
+//                   heap-allocating a block::BlockBuf directly
+//                   (make_unique/make_shared/new) outside core::BufferPool:
+//                   the data path is allocation-free only if every 4 KB
+//                   frame comes from the pool (core::BufferPool::alloc()
+//                   returns a refcounted, recycled core::BufRef).  Raw
+//                   allocations also can't share frames across forks, so
+//                   clone() degrades back to deep copies.  Cold paths
+//                   (test scaffolding, one-shot setup) may suppress.
 //   fork-unsafe-state
 //                   mutable `static` data in src/: process-wide state
 //                   outlives any one Testbed, so two worlds forked from
@@ -213,6 +222,7 @@ class Linter {
       std::vector<Finding> file_findings;
       check_simple_patterns(f, file_findings);
       check_raw_print(f, file_findings);
+      check_raw_blockbuf_alloc(f, file_findings);
       check_std_function(f, file_findings);
       check_fork_unsafe_static(f, file_findings);
       check_unordered_iteration(f, file_findings);
@@ -354,6 +364,44 @@ class Linter {
                          "raw console output in a simulator component; "
                          "report through obs:: instead, or suppress for "
                          "genuine diagnostics"});
+          break;  // one finding per line
+        }
+      }
+    }
+  }
+
+  // --- raw-blockbuf-alloc -----------------------------------------------
+
+  void check_raw_blockbuf_alloc(const SourceFile& f,
+                                std::vector<Finding>& out) {
+    // core::BufferPool is the one component allowed to allocate frames
+    // (its slabs ARE the allocation); everything else must hold pages as
+    // core::BufRef handles so the steady state stays allocation-free and
+    // clone() shares frames copy-on-write.
+    if (fs::path(f.path).filename().string().starts_with("buffer_pool")) {
+      return;
+    }
+    static const char* const kNeedles[] = {
+        "std::make_unique<BlockBuf>",
+        "std::make_unique<block::BlockBuf>",
+        "std::make_shared<BlockBuf>",
+        "std::make_shared<block::BlockBuf>",
+        "make_unique<BlockBuf>",
+        "make_unique<block::BlockBuf>",
+        "make_shared<BlockBuf>",
+        "make_shared<block::BlockBuf>",
+        "new BlockBuf",
+        "new block::BlockBuf",
+    };
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+      const std::string& line = f.code[li];
+      for (const char* needle : kNeedles) {
+        if (line.find(needle) != std::string::npos) {
+          out.push_back({f.path, li + 1, "raw-blockbuf-alloc",
+                         "heap-allocated BlockBuf outside core::BufferPool; "
+                         "use core::BufferPool::instance().alloc() so the "
+                         "frame is pooled and forks share it copy-on-write, "
+                         "or suppress for a cold path"});
           break;  // one finding per line
         }
       }
@@ -767,7 +815,7 @@ int main(int argc, char** argv) {
         "wall-clock",   "rand",     "raw-assert",
         "raw-print",    "unordered-iter",
         "virtual-dtor", "float-eq", "std-function-hot-path",
-        "fork-unsafe-state",
+        "fork-unsafe-state", "raw-blockbuf-alloc",
     };
     std::set<std::string> fired;
     bool ok = true;
