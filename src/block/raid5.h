@@ -109,6 +109,7 @@ class Raid5Array {
   [[nodiscard]] bool stripe_parity_clean(std::uint64_t stripe) const;
 
   Raid5Config config_;
+  // netstore: not_cloned -- recomputed from config_ in the constructor
   std::uint64_t logical_blocks_;
   std::vector<std::unique_ptr<Disk>> disks_;
   sim::Time ctrl_read_busy_ = 0;

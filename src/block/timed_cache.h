@@ -99,8 +99,10 @@ class TimedCache {
   std::uint64_t dirty_count_ = 0;
   sim::Counter hits_;
   sim::Counter misses_;
+  // netstore: not_cloned -- the forking Testbed installs its own tracer
   obs::Tracer* tracer_ = nullptr;
-  std::vector<core::BufRef> miss_refs_;  // read() scratch, reused across calls
+  // netstore: not_cloned -- read() scratch, refilled before every use
+  std::vector<core::BufRef> miss_refs_;
 };
 
 }  // namespace netstore::block

@@ -103,6 +103,10 @@ class BufferPool {
  public:
   /// The process-wide pool.  Frames are storage shared by every world;
   /// see the header comment for why this does not break fork isolation.
+  // netstore: shard_safe -- frame storage, not simulated state: handles
+  // own frames exclusively or share them copy-on-write, so shards never
+  // write the same frame; the free list is the one contended structure
+  // and the sharding PR gives each reactor its own slab.
   static BufferPool& instance() {
     // Leaked deliberately: BufRefs may outlive static destruction order.
     // The pool is page storage outside the simulated world; worlds own

@@ -109,6 +109,9 @@ block::BlockBuf& Bcache::get_new(block::Lba lba) {
     Entry& e = it->second;
     // Full overwrite: replace a shared frame instead of copying it.
     if (e.buf.shared()) e.buf = core::BufferPool::instance().alloc();
+    // The frame was un-shared on the line above and the reference is
+    // consumed by the caller's overwrite before any handle operation.
+    // netstore-lint: allow(bufref-held)
     block::BlockBuf& buf = e.buf.mutable_block();
     buf.fill(0);
     return buf;

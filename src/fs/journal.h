@@ -108,6 +108,8 @@ class Journal {
   SuperBlock& sb_;
   sim::Duration interval_;
   // Guards the scheduled commit callback against outliving this object.
+  // netstore: not_cloned -- each instance mints a fresh liveness token;
+  // copying it would let the source's scheduled callbacks fire in the clone
   std::shared_ptr<int> alive_ = std::make_shared<int>(0);
 
   std::vector<block::Lba> running_;  // insertion-ordered, deduplicated

@@ -143,6 +143,8 @@ class PageCache {
   PageCacheParams params_;
   // Guards scheduled flusher callbacks against outliving this object
   // (remount destroys the cache while events may still be queued).
+  // netstore: not_cloned -- each instance mints a fresh liveness token;
+  // copying it would let the source's scheduled callbacks fire in the clone
   std::shared_ptr<int> alive_ = std::make_shared<int>(0);
   std::unordered_map<Key, Page, KeyHash> pages_;
   core::LruList<Page> lru_;  // front = most recent

@@ -109,6 +109,8 @@ class Initiator final : public block::BlockDevice {
   Target& target_;
   SessionParams params_;
   SessionState state_ = SessionState::kFree;
+  // netstore: not_cloned -- closure over the source Testbed; the fork
+  // installs its own (see clone())
   InitiatorCostHook cost_hook_;
 
   // Min-heap of outstanding async-write response arrival times.

@@ -69,6 +69,8 @@ class Target {
  private:
   block::TimedCache& cache_;
   std::uint64_t volume_blocks_;
+  // netstore: not_cloned -- closure over the source Testbed; the fork
+  // installs its own (see clone())
   TargetCostHook cost_hook_;
   sim::Counter commands_;
 };

@@ -101,6 +101,8 @@ class NfsServer {
   sim::Env& env_;
   fs::Ext3Fs& fs_;
   ServerConfig config_;
+  // netstore: not_cloned -- closure over the source Testbed; the fork
+  // installs its own (see clone())
   ServerCostHook cost_hook_;
   sim::Counter requests_;
 };

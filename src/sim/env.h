@@ -123,9 +123,12 @@ class Env {
   void run_pending(Time target, bool drain_all);
 
   Time now_ = 0;
+  // netstore: not_cloned -- observers and config, not simulated state:
+  // Testbed::clone_from re-installs its own registry/tracer and re-derives
+  // audit_ from config right after Env::clone_from returns
   obs::MetricsRegistry* metrics_ = nullptr;
-  obs::Tracer* tracer_ = nullptr;
-  bool audit_ = false;
+  obs::Tracer* tracer_ = nullptr;  // netstore: not_cloned -- see metrics_
+  bool audit_ = false;             // netstore: not_cloned -- see metrics_
   bool audit_has_last_pop_ = false;
   Time audit_last_pop_at_ = 0;
   std::uint64_t audit_last_pop_seq_ = 0;

@@ -64,8 +64,11 @@ class Sampler {
  private:
   std::vector<double> samples_;
   // Cached ascending copy of samples_, rebuilt lazily after a record().
+  // netstore: shard_local -- every Sampler is owned by one world; the
+  // sharding PR keeps worlds reactor-private, so the const-surface cache
+  // rebuild never races
   mutable std::vector<double> sorted_;
-  mutable bool sorted_valid_ = false;
+  mutable bool sorted_valid_ = false;  // netstore: shard_local -- see sorted_
 };
 
 /// Fixed-boundary histogram for message-size / latency distributions.

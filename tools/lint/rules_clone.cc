@@ -1,0 +1,70 @@
+// Clone-completeness rule family.
+//
+// PR 4 made every component deep-cloneable so Testbed::fork() can
+// checkpoint a warmed world; CI asserts forked runs stay byte-identical
+// to from-scratch runs.  That contract fails silently the day someone
+// adds a field and forgets it in clone(): the fork compiles, runs, and
+// diverges only in whatever the field controls.  This rule closes the
+// loop statically, across translation units: the member list usually
+// lives in a header, the clone body in a .cc.
+//
+//   clone-missing-field    a data member of a class with clone()/
+//                          clone_from() is never mentioned in any clone
+//                          body for that class.
+//
+// "Mentioned" is an identifier-footprint test, which is exactly as
+// strong as the tree's idiom needs: clone bodies either assign fields by
+// name (`copy->pages_ = ...`), hand them to helpers
+// (`clone_lru_order(lru_, ...)`), pass them to a constructor
+// (`make_unique<PageCache>(env, dev, params_)`), or guard them
+// (`NETSTORE_CHECK(!flusher_scheduled_)`), all of which name the member.
+// Exempt by construction: reference members (rebound via constructor
+// arguments — they point into the new world, not the old), static and
+// constexpr members (not per-instance state), and bodies that
+// copy-construct from `*this` (every member is copied by definition).
+// A member that is deliberately not cloned carries
+// `// netstore: not_cloned -- <why>` at its declaration.
+#include "lint/rules.h"
+
+namespace netstore::lint {
+
+void run_clone_rules(const SourceFile& f, const Index& idx,
+                     std::vector<Finding>& out) {
+  // Report at the clone body, so a finding points at the function that
+  // must change; dedupe across bodies (clone + clone_from union their
+  // footprints — clone_from typically does the field work and clone
+  // wraps it).
+  for (const auto& [name, class_indices] : idx.class_by_name) {
+    // Union the identifier footprint of every clone body for this class
+    // name; anchor findings at the first body in this file.
+    const CloneBody* anchor = nullptr;
+    std::set<std::string> mentioned;
+    bool copies_all = false;
+    for (const CloneBody& b : idx.clone_bodies) {
+      if (b.class_name != name) continue;
+      mentioned.insert(b.idents.begin(), b.idents.end());
+      copies_all = copies_all || b.copies_all;
+      if (anchor == nullptr && b.file == f.path) anchor = &b;
+    }
+    if (anchor == nullptr || copies_all) continue;
+
+    for (const std::size_t ci : class_indices) {
+      const ClassInfo& c = idx.classes[ci];
+      if (!c.has_clone_decl) continue;
+      for (const Member& m : c.members) {
+        if (m.is_static || m.is_reference || m.is_const) continue;
+        if (m.annotations.count("not_cloned") != 0) continue;
+        if (m.name.empty() || mentioned.count(m.name) != 0) continue;
+        out.push_back(
+            {f.path, anchor->line, 0, "clone-missing-field",
+             "clone body for '" + c.name + "' never mentions member '" +
+                 m.name + "' (declared at " + c.file + ":" +
+                 std::to_string(m.line) +
+                 "); a forked world silently drops it — copy it, or "
+                 "annotate the member '// netstore: not_cloned -- <why>'"});
+      }
+    }
+  }
+}
+
+}  // namespace netstore::lint

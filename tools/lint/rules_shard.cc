@@ -1,0 +1,83 @@
+// Shard-safety rule family.
+//
+// ROADMAP item 2 splits sim::Env into per-core reactors; item 1 puts
+// 10k-1M simulated clients behind them.  Both require that no simulated
+// state is reachable from two shards at once.  These rules make the
+// codebase's sharding story explicit *before* the parallel core lands:
+//
+//   shard-mutable-global   a mutable namespace-scope variable is
+//                          process-wide, i.e. shared by every shard.
+//                          `thread_local` is inherently per-reactor and
+//                          passes; `// netstore: shard_local` marks a
+//                          variable the sharding PR will move into
+//                          per-shard storage (the annotation is the
+//                          work-list that PR consumes).
+//   shard-unsafe-singleton a `static X& instance()` accessor hands every
+//                          caller the same object.  Annotate the accessor
+//                          `// netstore: shard_safe -- <why>` once the
+//                          class is actually safe to share (internal
+//                          locking, immutable, storage-only), or make it
+//                          per-shard.
+//   shard-mutable-member   a `mutable` member writes under a const
+//                          surface — invisible shared-state mutation if
+//                          the object is ever visible to two shards.
+//                          `// netstore: shard_local` on the member
+//                          documents that the owning object is confined
+//                          to one shard.
+//
+// All three rules run on src/ only: tools/ harnesses own their process.
+#include "lint/rules.h"
+
+namespace netstore::lint {
+namespace {
+
+bool has(const std::set<std::string>& annots, const char* word) {
+  return annots.count(word) != 0;
+}
+
+}  // namespace
+
+void run_shard_rules(const SourceFile& f, const Index& idx,
+                     std::vector<Finding>& out) {
+  if (!f.in_src) return;
+
+  // Globals and classes are indexed tree-wide; report each at its
+  // defining file so suppressions/annotations sit next to the code.
+  for (const GlobalVar& g : idx.globals) {
+    if (g.file != f.path || !g.in_src) continue;
+    if (g.is_static) continue;  // fork-unsafe-state already owns statics
+    if (g.is_thread_local) continue;
+    if (has(g.annotations, "shard_local")) continue;
+    out.push_back({f.path, g.line, 0, "shard-mutable-global",
+                   "mutable namespace-scope variable '" + g.name +
+                       "' is visible to every future shard; move it into "
+                       "the world, make it thread_local, or annotate "
+                       "'// netstore: shard_local' to queue it for "
+                       "per-shard storage"});
+  }
+
+  for (const ClassInfo& c : idx.classes) {
+    if (c.file != f.path || !c.in_src) continue;
+    if (c.singleton && !has(c.annotations, "shard_safe")) {
+      out.push_back({f.path, c.singleton_line, 0, "shard-unsafe-singleton",
+                     "'" + c.name + "::instance()' hands every shard the "
+                         "same object; annotate '// netstore: shard_safe "
+                         "-- <why>' once access is synchronized or "
+                         "immutable, or make the instance per-shard"});
+    }
+    for (const Member& m : c.members) {
+      if (!m.is_mutable) continue;
+      if (has(m.annotations, "shard_local") ||
+          has(c.annotations, "shard_local")) {
+        continue;
+      }
+      out.push_back({f.path, m.line, 0, "shard-mutable-member",
+                     "mutable member '" + c.name + "::" + m.name +
+                         "' mutates under a const surface; annotate "
+                         "'// netstore: shard_local' if the owning object "
+                         "is confined to one shard, or synchronize it"});
+    }
+  }
+}
+
+}  // namespace netstore::lint

@@ -1,848 +1,17 @@
-// netstore-lint: determinism and correctness checker for the netstore tree.
+// netstore-lint: static analyzer for the netstore tree.
 //
-// The simulator must be bit-deterministic: every Table 2-10 number is a
-// function of (config, seed) and nothing else.  This tool scans C++ sources
-// for the hazards that have historically broken that property in storage
-// simulators, plus a few correctness smells specific to this codebase:
-//
-//   wall-clock      std::chrono::system_clock / gettimeofday / time(...):
-//                   real time must never leak into the simulation
-//   rand            rand()/srand()/random_device: all randomness goes
-//                   through sim::Rng so runs are replayable from a seed
-//   raw-assert      assert() compiles out under NDEBUG (the default
-//                   RelWithDebInfo build!); use NETSTORE_CHECK/_DCHECK
-//   unordered-iter  iterating a std::unordered_{map,set} yields
-//                   hash/pointer order, which varies across libstdc++
-//                   versions and ASLR runs; any such loop that feeds
-//                   scheduling, stats, or I/O issue order is a
-//                   nondeterminism bug.  Sort first, or suppress.
-//   virtual-dtor    base classes declaring virtual functions need a
-//                   virtual destructor
-//   float-eq        ==/!= against floating-point literals in service-time
-//                   models silently diverges across FMA/optimization
-//                   levels
-//   raw-print       printf/std::cout/std::cerr inside src/ (outside the
-//                   obs/ reporting layer): simulator components must not
-//                   write to the console — route output through
-//                   obs::Report / metrics, or suppress for genuine
-//                   diagnostics (e.g. the CHECK failure handler)
-//   std-function-hot-path
-//                   std::function in the hot modules (sim/, fs/, block/):
-//                   every copy heap-allocates and every call is an
-//                   indirect jump through a type-erased thunk.  Use
-//                   sim::Task for owned callables and sim::FuncRef for
-//                   synchronous borrows; cold configuration hooks can
-//                   suppress with a justification
-//   raw-blockbuf-alloc
-//                   heap-allocating a block::BlockBuf directly
-//                   (make_unique/make_shared/new) outside core::BufferPool:
-//                   the data path is allocation-free only if every 4 KB
-//                   frame comes from the pool (core::BufferPool::alloc()
-//                   returns a refcounted, recycled core::BufRef).  Raw
-//                   allocations also can't share frames across forks, so
-//                   clone() degrades back to deep copies.  Cold paths
-//                   (test scaffolding, one-shot setup) may suppress.
-//   fork-unsafe-state
-//                   mutable `static` data in src/: process-wide state
-//                   outlives any one Testbed, so two worlds forked from
-//                   the same core::Checkpoint observe each other through
-//                   it and forked runs stop being byte-identical to
-//                   from-scratch runs.  Keep all mutable state inside the
-//                   world (it then clones with it); `static const` /
-//                   `constexpr` tables and static member *functions* are
-//                   fine.  Process-wide diagnostics that deliberately
-//                   live outside the simulation may suppress.
-//
-// Suppress a finding with a comment on the same line or the line above:
-//   // netstore-lint: allow(unordered-iter) -- victims are sorted below
-//
-// Usage:
-//   netstore_lint <dir-or-file>...           exit 1 if any finding
-//   netstore_lint --self-test <fixture-dir>  exit 0 iff every rule fires
-//                                            at least once (negative test)
-#include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <map>
-#include <set>
-#include <sstream>
-#include <string>
-#include <vector>
-
-namespace {
-
-namespace fs = std::filesystem;
-
-struct Finding {
-  std::string file;
-  std::size_t line;  // 1-based
-  std::string rule;
-  std::string message;
-};
-
-struct SourceFile {
-  std::string path;
-  std::string module;              // top-level subsystem (sim, fs, nfs, ...)
-  std::vector<std::string> raw;    // original lines (for suppressions)
-  std::vector<std::string> code;   // comments and string literals blanked
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True if `text[pos..]` starts with `needle` at an identifier boundary
-/// (preceding character is not part of an identifier).
-bool at_word(const std::string& text, std::size_t pos,
-             const std::string& needle) {
-  if (text.compare(pos, needle.size(), needle) != 0) return false;
-  return pos == 0 || !is_ident_char(text[pos - 1]);
-}
-
-/// Blanks comments, string literals, and char literals so rule matching
-/// never fires on prose.  Keeps line structure (1 output line per input
-/// line); `in_block_comment` carries /* */ state across lines.
-std::string strip_line(const std::string& line, bool& in_block_comment) {
-  std::string out;
-  out.reserve(line.size());
-  std::size_t i = 0;
-  while (i < line.size()) {
-    if (in_block_comment) {
-      if (line.compare(i, 2, "*/") == 0) {
-        in_block_comment = false;
-        i += 2;
-      } else {
-        i++;
-      }
-      out.push_back(' ');
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
-      break;  // rest of line is a comment
-    }
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block_comment = true;
-      out.append("  ");
-      i += 2;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      out.push_back(quote);
-      i++;
-      while (i < line.size()) {
-        if (line[i] == '\\' && i + 1 < line.size()) {
-          out.append("  ");
-          i += 2;
-          continue;
-        }
-        if (line[i] == quote) {
-          out.push_back(quote);
-          i++;
-          break;
-        }
-        out.push_back(' ');
-        i++;
-      }
-      continue;
-    }
-    out.push_back(c);
-    i++;
-  }
-  return out;
-}
-
-/// Module key: the path component after "src/" (or the parent directory
-/// name otherwise).  unordered-container declarations and their iteration
-/// sites are matched within one module so header members declared in
-/// foo.h are seen by foo.cc.
-std::string module_of(const fs::path& p) {
-  const auto parts = std::vector<std::string>(p.begin(), p.end());
-  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
-    if (parts[i] == "src") return parts[i + 1];
-  }
-  return p.parent_path().filename().string();
-}
-
-SourceFile load(const fs::path& path) {
-  SourceFile f;
-  f.path = path.string();
-  f.module = module_of(path);
-  std::ifstream in(path);
-  std::string line;
-  bool in_block = false;
-  while (std::getline(in, line)) {
-    f.raw.push_back(line);
-    f.code.push_back(strip_line(line, in_block));
-  }
-  return f;
-}
-
-/// Rules suppressed for `line_index` (0-based): a
-/// "netstore-lint: allow(rule1, rule2)" comment on that line or the one
-/// directly above.
-std::set<std::string> suppressions_for(const SourceFile& f,
-                                       std::size_t line_index) {
-  std::set<std::string> rules;
-  for (std::size_t li : {line_index, line_index - 1}) {
-    if (li >= f.raw.size()) continue;  // wraps for line_index == 0
-    const std::string& raw = f.raw[li];
-    const std::string tag = "netstore-lint: allow(";
-    std::size_t pos = raw.find(tag);
-    while (pos != std::string::npos) {
-      const std::size_t open = pos + tag.size();
-      const std::size_t close = raw.find(')', open);
-      if (close == std::string::npos) break;
-      std::stringstream list(raw.substr(open, close - open));
-      std::string rule;
-      while (std::getline(list, rule, ',')) {
-        rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
-                   rule.end());
-        if (!rule.empty()) rules.insert(rule);
-      }
-      pos = raw.find(tag, close);
-    }
-  }
-  return rules;
-}
-
-class Linter {
- public:
-  void add_file(SourceFile f) {
-    collect_unordered_names(f);
-    files_.push_back(std::move(f));
-  }
-
-  std::vector<Finding> run() {
-    std::vector<Finding> out;
-    for (const SourceFile& f : files_) {
-      std::vector<Finding> file_findings;
-      check_simple_patterns(f, file_findings);
-      check_raw_print(f, file_findings);
-      check_raw_blockbuf_alloc(f, file_findings);
-      check_std_function(f, file_findings);
-      check_fork_unsafe_static(f, file_findings);
-      check_unordered_iteration(f, file_findings);
-      check_virtual_dtor(f, file_findings);
-      check_float_eq(f, file_findings);
-      for (Finding& fi : file_findings) {
-        const auto sup = suppressions_for(f, fi.line - 1);
-        if (sup.count(fi.rule) || sup.count("all")) continue;
-        out.push_back(std::move(fi));
-      }
-    }
-    std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-      return std::tie(a.file, a.line, a.rule) <
-             std::tie(b.file, b.line, b.rule);
-    });
-    return out;
-  }
-
- private:
-  // --- pass 1: names of variables declared as unordered containers ------
-
-  void collect_unordered_names(const SourceFile& f) {
-    for (const std::string& line : f.code) {
-      for (const char* kind : {"unordered_map<", "unordered_set<"}) {
-        std::size_t pos = line.find(kind);
-        while (pos != std::string::npos) {
-          const std::size_t open = line.find('<', pos);
-          // Walk the balanced template argument list.
-          int depth = 0;
-          std::size_t i = open;
-          for (; i < line.size(); ++i) {
-            if (line[i] == '<') depth++;
-            if (line[i] == '>' && --depth == 0) break;
-          }
-          if (i < line.size()) {
-            std::size_t j = i + 1;
-            while (j < line.size() &&
-                   (std::isspace(static_cast<unsigned char>(line[j])) ||
-                    line[j] == '&' || line[j] == '*')) {
-              j++;
-            }
-            std::size_t end = j;
-            while (end < line.size() && is_ident_char(line[end])) end++;
-            if (end > j) {
-              unordered_names_[f.module].insert(line.substr(j, end - j));
-            }
-          }
-          pos = line.find(kind, pos + 1);
-        }
-      }
-    }
-  }
-
-  // --- simple substring rules ------------------------------------------
-
-  void check_simple_patterns(const SourceFile& f, std::vector<Finding>& out) {
-    struct Pattern {
-      const char* rule;
-      const char* needle;
-      bool word_boundary;
-      const char* message;
-    };
-    static const Pattern kPatterns[] = {
-        {"wall-clock", "system_clock", false,
-         "wall-clock time in the simulation; use sim::Env::now()"},
-        {"wall-clock", "steady_clock", false,
-         "host clock in the simulation; use sim::Env::now()"},
-        {"wall-clock", "high_resolution_clock", false,
-         "host clock in the simulation; use sim::Env::now()"},
-        {"wall-clock", "gettimeofday", true,
-         "wall-clock time in the simulation; use sim::Env::now()"},
-        {"wall-clock", "clock_gettime", true,
-         "wall-clock time in the simulation; use sim::Env::now()"},
-        {"wall-clock", "time(nullptr)", false,
-         "wall-clock time in the simulation; use sim::Env::now()"},
-        {"wall-clock", "time(NULL)", false,
-         "wall-clock time in the simulation; use sim::Env::now()"},
-        {"rand", "rand(", true,
-         "unseeded libc randomness; use sim::Rng so runs replay"},
-        {"rand", "srand(", true,
-         "unseeded libc randomness; use sim::Rng so runs replay"},
-        {"rand", "drand48(", true,
-         "unseeded libc randomness; use sim::Rng so runs replay"},
-        {"rand", "rand_r(", true,
-         "unseeded libc randomness; use sim::Rng so runs replay"},
-        {"rand", "random_device", false,
-         "hardware entropy is unreplayable; use sim::Rng"},
-        {"raw-assert", "assert(", true,
-         "assert() is compiled out under NDEBUG (the default benchmark "
-         "build); use NETSTORE_CHECK or NETSTORE_DCHECK"},
-    };
-    for (std::size_t li = 0; li < f.code.size(); ++li) {
-      const std::string& line = f.code[li];
-      for (const Pattern& p : kPatterns) {
-        std::size_t pos = line.find(p.needle);
-        while (pos != std::string::npos) {
-          if (!p.word_boundary || at_word(line, pos, p.needle)) {
-            out.push_back({f.path, li + 1, p.rule, p.message});
-            break;  // one finding per rule per line
-          }
-          pos = line.find(p.needle, pos + 1);
-        }
-      }
-    }
-  }
-
-  // --- raw-print --------------------------------------------------------
-
-  void check_raw_print(const SourceFile& f, std::vector<Finding>& out) {
-    // The observability layer is the one place allowed to format output
-    // (obs::Report renders JSON/CSV); everything else in src/ must stay
-    // silent so bench stdout is owned by the bench binaries alone.
-    if (f.module == "obs") return;
-    struct Pattern {
-      const char* needle;
-      bool word_boundary;
-    };
-    static const Pattern kPatterns[] = {
-        {"printf(", true},   // std::printf( matches too (':' is a boundary)
-        {"fprintf(", true},
-        {"std::cout", false},
-        {"std::cerr", false},
-        {"std::clog", false},
-    };
-    for (std::size_t li = 0; li < f.code.size(); ++li) {
-      const std::string& line = f.code[li];
-      for (const Pattern& p : kPatterns) {
-        std::size_t pos = line.find(p.needle);
-        bool hit = false;
-        while (pos != std::string::npos) {
-          if (!p.word_boundary || at_word(line, pos, p.needle)) {
-            hit = true;
-            break;
-          }
-          pos = line.find(p.needle, pos + 1);
-        }
-        if (hit) {
-          out.push_back({f.path, li + 1, "raw-print",
-                         "raw console output in a simulator component; "
-                         "report through obs:: instead, or suppress for "
-                         "genuine diagnostics"});
-          break;  // one finding per line
-        }
-      }
-    }
-  }
-
-  // --- raw-blockbuf-alloc -----------------------------------------------
-
-  void check_raw_blockbuf_alloc(const SourceFile& f,
-                                std::vector<Finding>& out) {
-    // core::BufferPool is the one component allowed to allocate frames
-    // (its slabs ARE the allocation); everything else must hold pages as
-    // core::BufRef handles so the steady state stays allocation-free and
-    // clone() shares frames copy-on-write.
-    if (fs::path(f.path).filename().string().starts_with("buffer_pool")) {
-      return;
-    }
-    static const char* const kNeedles[] = {
-        "std::make_unique<BlockBuf>",
-        "std::make_unique<block::BlockBuf>",
-        "std::make_shared<BlockBuf>",
-        "std::make_shared<block::BlockBuf>",
-        "make_unique<BlockBuf>",
-        "make_unique<block::BlockBuf>",
-        "make_shared<BlockBuf>",
-        "make_shared<block::BlockBuf>",
-        "new BlockBuf",
-        "new block::BlockBuf",
-    };
-    for (std::size_t li = 0; li < f.code.size(); ++li) {
-      const std::string& line = f.code[li];
-      for (const char* needle : kNeedles) {
-        if (line.find(needle) != std::string::npos) {
-          out.push_back({f.path, li + 1, "raw-blockbuf-alloc",
-                         "heap-allocated BlockBuf outside core::BufferPool; "
-                         "use core::BufferPool::instance().alloc() so the "
-                         "frame is pooled and forks share it copy-on-write, "
-                         "or suppress for a cold path"});
-          break;  // one finding per line
-        }
-      }
-    }
-  }
-
-  // --- std-function-hot-path --------------------------------------------
-
-  void check_std_function(const SourceFile& f, std::vector<Finding>& out) {
-    // The event loop, file-system caches, and block layer are the
-    // simulator's hot paths: callables there are created and invoked
-    // millions of times per run.  std::function costs a heap allocation
-    // per capture-heavy copy and an indirect call per invocation; the
-    // in-house alternatives are sim::Task (owning, 40-byte inline
-    // storage) and sim::FuncRef (non-owning view for synchronous calls).
-    static const std::set<std::string> kHotModules = {"sim", "fs", "block"};
-    if (!kHotModules.count(f.module)) return;
-    for (std::size_t li = 0; li < f.code.size(); ++li) {
-      if (f.code[li].find("std::function") != std::string::npos) {
-        out.push_back({f.path, li + 1, "std-function-hot-path",
-                       "std::function in hot module '" + f.module +
-                           "'; use sim::Task (owning) or sim::FuncRef "
-                           "(borrowing), or suppress for a cold "
-                           "configuration hook"});
-      }
-    }
-  }
-
-  // --- fork-unsafe-state ------------------------------------------------
-
-  void check_fork_unsafe_static(const SourceFile& f,
-                                std::vector<Finding>& out) {
-    // `static` durations are process-wide; a Testbed is supposed to be a
-    // closed world.  Checkpoint::fork() deep-clones the world, so any
-    // state a component keeps in a static leaks between the source and
-    // every fork — the exact aliasing the checkpoint subsystem exists to
-    // prevent.  Heuristic: flag the `static` keyword unless the line
-    // declares something immutable (const/constexpr) or the declarator
-    // is a function (first structural character after `static` is '(').
-    for (std::size_t li = 0; li < f.code.size(); ++li) {
-      const std::string& line = f.code[li];
-      std::size_t pos = line.find("static");
-      while (pos != std::string::npos) {
-        if (at_word(line, pos, "static") &&
-            (pos + 6 >= line.size() || !is_ident_char(line[pos + 6]))) {
-          // Whole word (excludes static_assert / static_cast).  const and
-          // constexpr anywhere on the line mean the data can never mutate,
-          // so sharing it across forks is harmless.
-          if (word_on_line(line, "const") || word_on_line(line, "constexpr")) {
-            break;
-          }
-          // Find the first structural character after the keyword,
-          // joining one continuation line for wrapped declarations.  '('
-          // first means a (stateless) static member function; anything
-          // else ('=', '{', ';') is a static *object* definition.
-          std::string decl = line.substr(pos + 6);
-          if (decl.find_first_of("(;={") == std::string::npos &&
-              li + 1 < f.code.size()) {
-            decl += ' ' + f.code[li + 1];
-          }
-          const std::size_t structural = decl.find_first_of("(;={");
-          if (structural == std::string::npos || decl[structural] != '(') {
-            out.push_back(
-                {f.path, li + 1, "fork-unsafe-state",
-                 "mutable static state outlives the Testbed and is shared "
-                 "across checkpoint forks; move it into the world so "
-                 "fork() clones it, or suppress for process-wide "
-                 "diagnostics"});
-            break;  // one finding per line
-          }
-        }
-        pos = line.find("static", pos + 6);
-      }
-    }
-  }
-
-  /// True if `word` occurs in `line` with identifier boundaries on both
-  /// sides.
-  static bool word_on_line(const std::string& line, const std::string& word) {
-    std::size_t pos = line.find(word);
-    while (pos != std::string::npos) {
-      if (at_word(line, pos, word) &&
-          (pos + word.size() >= line.size() ||
-           !is_ident_char(line[pos + word.size()]))) {
-        return true;
-      }
-      pos = line.find(word, pos + word.size());
-    }
-    return false;
-  }
-
-  // --- unordered-iter ---------------------------------------------------
-
-  void check_unordered_iteration(const SourceFile& f,
-                                 std::vector<Finding>& out) {
-    const auto it = unordered_names_.find(f.module);
-    if (it == unordered_names_.end()) return;
-    const std::set<std::string>& names = it->second;
-
-    for (std::size_t li = 0; li < f.code.size(); ++li) {
-      std::string header;
-      std::size_t report_line = li + 1;
-      if (!extract_for_header(f, li, header)) continue;
-
-      if (header.find(';') == std::string::npos) {
-        // Range-for: flag when the range expression is exactly a known
-        // unordered container.
-        const std::size_t colon = find_range_colon(header);
-        if (colon == std::string::npos) continue;
-        std::string range = header.substr(colon + 1);
-        range.erase(std::remove_if(range.begin(), range.end(), ::isspace),
-                    range.end());
-        if (names.count(range)) {
-          out.push_back({f.path, report_line, "unordered-iter",
-                         "iteration order of '" + range +
-                             "' is hash-ordered and nondeterministic; sort "
-                             "first or suppress with a justification"});
-        }
-      } else {
-        // Classic for: flag iterator walks (name.begin() / name.cbegin()).
-        for (const std::string& name : names) {
-          if (header.find(name + ".begin()") != std::string::npos ||
-              header.find(name + ".cbegin()") != std::string::npos) {
-            out.push_back({f.path, report_line, "unordered-iter",
-                           "iterator walk over unordered '" + name +
-                               "' is hash-ordered and nondeterministic; "
-                               "sort first or suppress with a justification"});
-            break;
-          }
-        }
-      }
-    }
-  }
-
-  /// If a `for (` begins on line `li`, accumulates the parenthesized
-  /// header (joining up to 4 continuation lines) into `header`.
-  static bool extract_for_header(const SourceFile& f, std::size_t li,
-                                 std::string& header) {
-    const std::string& line = f.code[li];
-    std::size_t pos = 0;
-    std::size_t for_pos = std::string::npos;
-    while ((pos = line.find("for", pos)) != std::string::npos) {
-      if (at_word(line, pos, "for")) {
-        std::size_t after = pos + 3;
-        while (after < line.size() &&
-               std::isspace(static_cast<unsigned char>(line[after]))) {
-          after++;
-        }
-        if (after < line.size() && line[after] == '(') {
-          for_pos = after;
-          break;
-        }
-      }
-      pos += 3;
-    }
-    if (for_pos == std::string::npos) return false;
-
-    int depth = 0;
-    std::string acc;
-    std::size_t cur_line = li;
-    std::size_t i = for_pos;
-    for (int joined = 0; joined < 5; ++joined) {
-      const std::string& text = f.code[cur_line];
-      for (; i < text.size(); ++i) {
-        if (text[i] == '(') depth++;
-        if (text[i] == ')') {
-          depth--;
-          if (depth == 0) {
-            header = acc.substr(1);  // drop the opening '('
-            return true;
-          }
-        }
-        acc.push_back(text[i]);
-      }
-      acc.push_back(' ');
-      cur_line++;
-      i = 0;
-      if (cur_line >= f.code.size()) break;
-    }
-    return false;
-  }
-
-  /// Position of the range-for colon: a ':' that is not part of '::'.
-  static std::size_t find_range_colon(const std::string& header) {
-    for (std::size_t i = 0; i < header.size(); ++i) {
-      if (header[i] != ':') continue;
-      const bool prev_colon = i > 0 && header[i - 1] == ':';
-      const bool next_colon = i + 1 < header.size() && header[i + 1] == ':';
-      if (prev_colon || next_colon) continue;
-      return i;
-    }
-    return std::string::npos;
-  }
-
-  // --- virtual-dtor -----------------------------------------------------
-
-  void check_virtual_dtor(const SourceFile& f, std::vector<Finding>& out) {
-    struct ClassScope {
-      std::string name;
-      std::size_t decl_line;
-      int body_depth;        // brace depth inside the class body
-      bool has_base;
-      bool has_virtual = false;
-      bool has_virtual_dtor = false;
-    };
-    std::vector<ClassScope> stack;
-    int depth = 0;
-    bool pending = false;
-    ClassScope next{};
-
-    for (std::size_t li = 0; li < f.code.size(); ++li) {
-      const std::string& line = f.code[li];
-      // Look for a class/struct head introducing a definition.
-      for (const char* kw : {"class ", "struct "}) {
-        std::size_t pos = line.find(kw);
-        if (pos == std::string::npos) continue;
-        if (!at_word(line, pos, kw)) continue;
-        std::size_t j = pos + std::string(kw).size();
-        while (j < line.size() &&
-               std::isspace(static_cast<unsigned char>(line[j]))) {
-          j++;
-        }
-        std::size_t end = j;
-        while (end < line.size() && is_ident_char(line[end])) end++;
-        if (end == j) continue;
-        const std::string rest = line.substr(end);
-        if (rest.find(';') != std::string::npos &&
-            (rest.find('{') == std::string::npos ||
-             rest.find(';') < rest.find('{'))) {
-          continue;  // forward declaration
-        }
-        pending = true;
-        next = ClassScope{};
-        next.name = line.substr(j, end - j);
-        next.decl_line = li + 1;
-        next.has_base = find_range_colon(rest) != std::string::npos;
-      }
-
-      for (char c : line) {
-        if (c == '{') {
-          depth++;
-          if (pending) {
-            next.body_depth = depth;
-            stack.push_back(next);
-            pending = false;
-          }
-        } else if (c == '}') {
-          if (!stack.empty() && stack.back().body_depth == depth) {
-            const ClassScope& cs = stack.back();
-            if (cs.has_virtual && !cs.has_virtual_dtor && !cs.has_base) {
-              out.push_back(
-                  {f.path, cs.decl_line, "virtual-dtor",
-                   "interface class '" + cs.name +
-                       "' declares virtual functions but no virtual "
-                       "destructor; deleting through a base pointer is UB"});
-            }
-            stack.pop_back();
-          }
-          depth--;
-        }
-      }
-
-      if (!stack.empty()) {
-        ClassScope& cs = stack.back();
-        std::size_t vpos = line.find("virtual");
-        if (vpos != std::string::npos && at_word(line, vpos, "virtual")) {
-          cs.has_virtual = true;
-          std::size_t after = vpos + 7;
-          while (after < line.size() &&
-                 std::isspace(static_cast<unsigned char>(line[after]))) {
-            after++;
-          }
-          if (after < line.size() && line[after] == '~') {
-            cs.has_virtual_dtor = true;
-          }
-        }
-      }
-    }
-  }
-
-  // --- float-eq ---------------------------------------------------------
-
-  void check_float_eq(const SourceFile& f, std::vector<Finding>& out) {
-    for (std::size_t li = 0; li < f.code.size(); ++li) {
-      const std::string& line = f.code[li];
-      for (std::size_t i = 0; i + 1 < line.size(); ++i) {
-        if ((line[i] != '=' && line[i] != '!') || line[i + 1] != '=') continue;
-        if (i > 0 && (line[i - 1] == '=' || line[i - 1] == '<' ||
-                      line[i - 1] == '>' || line[i - 1] == '!')) {
-          continue;
-        }
-        if (i + 2 < line.size() && line[i + 2] == '=') continue;
-        if (float_literal_adjacent(line, i)) {
-          out.push_back({f.path, li + 1, "float-eq",
-                         "floating-point equality comparison; compare with "
-                         "an epsilon or restructure"});
-          break;
-        }
-      }
-    }
-  }
-
-  static bool float_literal_adjacent(const std::string& line, std::size_t op) {
-    // Token after the operator.
-    std::size_t r = op + 2;
-    while (r < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[r]))) {
-      r++;
-    }
-    std::size_t rend = r;
-    while (rend < line.size() &&
-           (is_ident_char(line[rend]) || line[rend] == '.')) {
-      rend++;
-    }
-    if (is_float_literal(line.substr(r, rend - r))) return true;
-
-    // Token before the operator.
-    if (op == 0) return false;
-    std::size_t l = op;
-    while (l > 0 && std::isspace(static_cast<unsigned char>(line[l - 1]))) {
-      l--;
-    }
-    std::size_t lstart = l;
-    while (lstart > 0 &&
-           (is_ident_char(line[lstart - 1]) || line[lstart - 1] == '.')) {
-      lstart--;
-    }
-    return is_float_literal(line.substr(lstart, l - lstart));
-  }
-
-  static bool is_float_literal(const std::string& tok) {
-    if (tok.empty()) return false;
-    bool digit = false;
-    bool dot = false;
-    for (std::size_t i = 0; i < tok.size(); ++i) {
-      const char c = tok[i];
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        digit = true;
-      } else if (c == '.') {
-        dot = true;
-      } else if ((c == 'f' || c == 'F') && i == tok.size() - 1) {
-        // suffix
-      } else {
-        return false;
-      }
-    }
-    return digit && dot;
-  }
-
-  std::vector<SourceFile> files_;
-  std::map<std::string, std::set<std::string>> unordered_names_;
-};
-
-int usage() {
-  std::cerr << "usage: netstore_lint [--self-test] <dir-or-file>...\n";
-  return 2;
-}
-
-}  // namespace
+// The simulator must be bit-deterministic (every Table 2-10 number is a
+// function of (config, seed) and nothing else), every component must be
+// deep-cloneable for warm-state checkpoints, and — ahead of the sharded
+// parallel sim core — no simulated state may alias across shards.  The
+// analyzer enforces all three at compile time.  It is a real tokenizer
+// plus a cross-TU symbol index, organized as four rule families; see
+// tools/lint/rules.h for the family inventory, tools/lint/driver.h for
+// the CLI, and DESIGN.md section 15 for the annotation vocabulary
+// ("netstore-lint: allow(rule) -- why", "netstore: shard_local",
+// "netstore: shard_safe", "netstore: not_cloned").
+#include "lint/driver.h"
 
 int main(int argc, char** argv) {
-  bool self_test = false;
-  std::vector<fs::path> roots;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--self-test") {
-      self_test = true;
-    } else if (!arg.empty() && arg[0] == '-') {
-      return usage();
-    } else {
-      roots.emplace_back(arg);
-    }
-  }
-  if (roots.empty()) return usage();
-
-  Linter linter;
-  std::size_t nfiles = 0;
-  for (const fs::path& root : roots) {
-    std::vector<fs::path> paths;
-    if (fs::is_directory(root)) {
-      for (const auto& entry : fs::recursive_directory_iterator(root)) {
-        if (!entry.is_regular_file()) continue;
-        const std::string ext = entry.path().extension().string();
-        if (ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp") {
-          paths.push_back(entry.path());
-        }
-      }
-    } else if (fs::is_regular_file(root)) {
-      paths.push_back(root);
-    } else {
-      std::cerr << "netstore_lint: no such file or directory: " << root
-                << "\n";
-      return 2;
-    }
-    std::sort(paths.begin(), paths.end());
-    for (const fs::path& p : paths) {
-      linter.add_file(load(p));
-      nfiles++;
-    }
-  }
-
-  const std::vector<Finding> findings = linter.run();
-  for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
-  }
-
-  if (self_test) {
-    // Negative-test mode: the fixture tree must trip every rule.
-    const std::set<std::string> required = {
-        "wall-clock",   "rand",     "raw-assert",
-        "raw-print",    "unordered-iter",
-        "virtual-dtor", "float-eq", "std-function-hot-path",
-        "fork-unsafe-state", "raw-blockbuf-alloc",
-    };
-    std::set<std::string> fired;
-    bool ok = true;
-    for (const Finding& f : findings) {
-      fired.insert(f.rule);
-      // Files named clean* demonstrate suppressions and lint-clean idiom;
-      // a finding there means a rule or the suppression parser regressed.
-      if (fs::path(f.file).filename().string().starts_with("clean")) {
-        std::cout << "self-test FAILED: finding in clean fixture: " << f.file
-                  << ":" << f.line << " [" << f.rule << "]\n";
-        ok = false;
-      }
-    }
-    for (const std::string& rule : required) {
-      if (!fired.count(rule)) {
-        std::cout << "self-test FAILED: rule '" << rule
-                  << "' produced no finding on the fixture tree\n";
-        ok = false;
-      }
-    }
-    std::cout << (ok ? "self-test passed: " : "self-test failed: ")
-              << findings.size() << " finding(s) across " << nfiles
-              << " fixture file(s)\n";
-    return ok ? 0 : 1;
-  }
-
-  std::cout << "netstore_lint: " << findings.size() << " finding(s) in "
-            << nfiles << " file(s)\n";
-  return findings.empty() ? 0 : 1;
+  return netstore::lint::run_cli(argc, argv);
 }

@@ -1,0 +1,13 @@
+// Fixture: two violations of one rule on one line.  PR 1's scanner
+// reported at most one finding per rule per line, so the second assert
+// below survived review; both must be reported now (rule: raw-assert,
+// twice on the same line, distinct columns).
+#include <cassert>
+
+namespace fixture {
+
+void check_pair(int a, int b) {
+  assert(a >= 0); assert(b >= 0);  // BAD: raw-assert x2
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture (cross-TU half 2): the clone body.  It copies entries_ and
+// cursor_ but not crc_state_, declared only in bad_clone_split.h — the
+// finding lands here, at the function that must change.
+#include "bad_clone_split.h"
+
+namespace netstore::blockx {
+
+std::unique_ptr<SplitLedger> SplitLedger::clone() const {
+  auto copy = std::make_unique<SplitLedger>();  // BAD: clone-missing-field
+  copy->entries_ = entries_;
+  copy->cursor_ = cursor_;
+  return copy;
+}
+
+}  // namespace netstore::blockx

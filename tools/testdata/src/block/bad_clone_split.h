@@ -1,0 +1,23 @@
+// Fixture (cross-TU half 1): the member list lives here, the clone body
+// in bad_clone_split.cc.  The analyzer must join them through the index
+// and flag the member the .cc never mentions
+// (rule: clone-missing-field, reported in the .cc).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace netstore::blockx {
+
+class SplitLedger {
+ public:
+  std::unique_ptr<SplitLedger> clone() const;
+
+ private:
+  std::vector<std::uint64_t> entries_;
+  std::uint64_t cursor_ = 0;
+  std::uint32_t crc_state_ = 0;  // never mentioned in the .cc clone body
+};
+
+}  // namespace netstore::blockx

@@ -1,0 +1,17 @@
+// Fixture (cross-TU half 1): acquires g_flush_mu then g_journal_mu.
+// bad_lock_order_b.cc takes the same pair in the opposite order — the
+// classic ABBA deadlock, visible only through the cross-TU index
+// (rule: lock-order-cycle, reported in both files).
+#include <mutex>
+
+namespace netstore::corex {
+
+extern std::mutex g_flush_mu;
+extern std::mutex g_journal_mu;
+
+void flush_then_journal() {
+  std::scoped_lock flush(g_flush_mu);
+  std::scoped_lock journal(g_journal_mu);  // BAD: lock-order-cycle
+}
+
+}  // namespace netstore::corex

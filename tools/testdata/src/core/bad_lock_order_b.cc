@@ -1,0 +1,16 @@
+// Fixture (cross-TU half 2): acquires g_journal_mu then g_flush_mu,
+// closing the cycle opened by bad_lock_order_a.cc
+// (rule: lock-order-cycle).
+#include <mutex>
+
+namespace netstore::corex {
+
+extern std::mutex g_flush_mu;
+extern std::mutex g_journal_mu;
+
+void journal_then_flush() {
+  std::scoped_lock journal(g_journal_mu);
+  std::scoped_lock flush(g_flush_mu);  // BAD: lock-order-cycle
+}
+
+}  // namespace netstore::corex

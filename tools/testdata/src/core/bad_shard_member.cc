@@ -1,0 +1,21 @@
+// Fixture: a `mutable` member mutates under a const surface — invisible
+// shared-state writes if the object is ever reachable from two shards
+// (rule: shard-mutable-member).
+#include <cstdint>
+
+namespace netstore::corex {
+
+class ExtentMap {
+ public:
+  std::uint64_t lookup(std::uint64_t key) const {
+    probes_++;  // const surface, mutable write
+    return key;
+  }
+
+ private:
+  mutable std::uint64_t probes_ = 0;  // BAD: shard-mutable-member
+  mutable bool warm_ = false;         // BAD: shard-mutable-member
+  std::uint64_t size_ = 0;            // plain member: fine
+};
+
+}  // namespace netstore::corex

@@ -1,0 +1,31 @@
+// Fixture: a `static X& instance()` accessor without a shard_safe
+// annotation hands every shard the same mutable object
+// (rule: shard-unsafe-singleton).
+#include <cstdint>
+#include <string>
+
+namespace netstore::corex {
+
+class DeviceRegistry {
+ public:
+  static DeviceRegistry& instance();  // BAD: shard-unsafe-singleton
+
+  void add(const std::string& name) { count_++; (void)name; }
+
+ private:
+  std::uint32_t count_ = 0;
+};
+
+// Out-of-line definition form must be caught too.
+class PathTable {
+ public:
+  static PathTable& instance() {  // BAD: shard-unsafe-singleton
+    static PathTable t;
+    return t;
+  }
+
+ private:
+  std::uint64_t lookups_ = 0;
+};
+
+}  // namespace netstore::corex

@@ -1,0 +1,25 @@
+// Fixture: a clone() body that forgets a field.  The forked world
+// silently drops `depth_hwm_`, so runs resumed from a checkpoint diverge
+// from scratch runs in whatever that field controls
+// (rule: clone-missing-field).
+#include <cstdint>
+#include <memory>
+
+namespace netstore::fsx {
+
+class ReplayQueue {
+ public:
+  std::unique_ptr<ReplayQueue> clone() const {  // BAD: clone-missing-field
+    auto copy = std::make_unique<ReplayQueue>();
+    copy->head_ = head_;
+    copy->tail_ = tail_;
+    return copy;  // depth_hwm_ deliberately omitted
+  }
+
+ private:
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+  std::uint64_t depth_hwm_ = 0;  // the field clone() forgets
+};
+
+}  // namespace netstore::fsx

@@ -1,0 +1,46 @@
+// Fixture: complete clone bodies and the not_cloned annotation — none of
+// these may be reported.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace netstore::fsx {
+
+struct Clock {
+  std::uint64_t now = 0;
+};
+
+// Every per-instance field is either mentioned in clone() or annotated.
+class IntentLog {
+ public:
+  std::unique_ptr<IntentLog> clone(Clock& clock) const {
+    auto copy = std::make_unique<IntentLog>(clock);
+    copy->records_ = records_;
+    copy->sealed_ = sealed_;
+    return copy;
+  }
+
+  explicit IntentLog(Clock& clock) : clock_(clock) {}
+
+ private:
+  Clock& clock_;  // reference: rebound via the constructor, exempt
+  static constexpr std::uint32_t kMagic = 0x4e53;  // static const: exempt
+  std::vector<std::uint64_t> records_;
+  bool sealed_ = false;
+  // netstore: not_cloned -- scratch space, rebuilt on first use
+  std::vector<std::uint64_t> scratch_;
+};
+
+// Copy-construction from *this copies every member by definition.
+class Cursor {
+ public:
+  std::unique_ptr<Cursor> clone() const {
+    return std::unique_ptr<Cursor>(new Cursor(*this));
+  }
+
+ private:
+  std::uint64_t offset_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace netstore::fsx

@@ -1,0 +1,44 @@
+// Fixture: RAII pairing hazards.
+//
+//   raii-temp        an unnamed guard is a temporary destroyed at the end
+//                    of the full expression — it protects nothing.
+//   manual-lock      bare .lock()/.unlock(): an early return between them
+//                    deadlocks.
+//   manual-suspend   bare tracer .suspend()/.resume(): same pairing
+//                    hazard outside src/obs.
+#include <mutex>
+
+namespace netstore::simx {
+
+struct Tracer {
+  void suspend();
+  void resume();
+};
+
+class EventPump {
+ public:
+  void drain_wrong() {
+    std::lock_guard<std::mutex>(mu_);  // BAD: raii-temp
+    std::scoped_lock(mu_);             // BAD: raii-temp
+    pending_ = 0;
+  }
+
+  void drain_manual(Tracer& t) {
+    mu_.lock();    // BAD: manual-lock
+    t.suspend();   // BAD: manual-suspend
+    pending_ = 0;
+    t.resume();    // BAD: manual-suspend
+    mu_.unlock();  // BAD: manual-lock
+  }
+
+  void drain_right() {
+    std::lock_guard<std::mutex> hold(mu_);  // named guard: fine
+    pending_ = 0;
+  }
+
+ private:
+  std::mutex mu_;
+  int pending_ = 0;
+};
+
+}  // namespace netstore::simx

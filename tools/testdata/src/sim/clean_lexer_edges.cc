@@ -1,0 +1,37 @@
+// Fixture: lexer edge cases — everything here is comment or literal
+// interior, so none of it may be reported even though the text names
+// rand(), assert(), printf() and friends.
+#include <string>
+#include <vector>
+
+namespace netstore::simx {
+
+std::string banned_api_docs() {
+  // A raw string literal: its interior is data, not code.  The closing
+  // sequence contains parentheses that a naive scanner would trip on.
+  return R"(calls like rand(), srand(7), assert(x), printf("%d"),
+            std::cout << x, and system_clock::now() are banned))";
+}
+
+std::string delimited_raw() {
+  // Custom-delimiter raw string whose body contains the plain )" close.
+  return u8R"seq(printf(")"); std::function<void()> f;)seq";
+}
+
+std::string tricky_quotes() {
+  const char q = '"';                 // a double-quote character literal
+  std::string s = "uses assert( \" and rand( inside a string";
+  s.push_back(q);
+  return s;
+}
+
+// A line-continuation keeps the next physical line inside this comment: \
+   srand(999); std::cout << "still a comment";
+
+int deepest(const std::vector<std::vector<std::vector<int>>>& grid) {
+  // Nested template argument lists close with >>> — token balance must
+  // survive without a space between the angle brackets.
+  return grid.empty() ? 0 : static_cast<int>(grid.size());
+}
+
+}  // namespace netstore::simx

@@ -1,0 +1,26 @@
+// Fixture: correct ownership idioms — none of these may be reported.
+#include <mutex>
+
+namespace netstore::simx {
+
+class FrameWriter {
+ public:
+  void tick() {
+    std::scoped_lock hold(mu_);  // named guard, single lock: fine
+    count_++;
+  }
+
+  void tick_both() {
+    // One guard, both mutexes: std::scoped_lock orders internally, no
+    // edge pair to invert.
+    std::scoped_lock hold(mu_, aux_mu_);
+    count_++;
+  }
+
+ private:
+  std::mutex mu_;
+  std::mutex aux_mu_;
+  int count_ = 0;
+};
+
+}  // namespace netstore::simx

@@ -1,0 +1,35 @@
+// Fixture: the shard-safety annotation vocabulary — none of these may be
+// reported.
+#include <cstdint>
+#include <string>
+
+namespace netstore::simx {
+
+// Queued for per-shard storage by the sharding PR.
+// netstore: shard_local -- moved into ReactorState when shards land
+std::uint64_t g_events_dispatched = 0;
+
+// Per-reactor by construction.
+thread_local std::uint32_t g_shard_id = 0;
+
+class InternTable {
+ public:
+  // netstore: shard_safe -- append-only under an internal mutex
+  static InternTable& instance();
+
+  const std::string& intern(const std::string& s) const { return s; }
+};
+
+class Histogram {
+ public:
+  std::uint64_t quantile(double q) const {
+    cached_q_ = q;
+    return 0;
+  }
+
+ private:
+  // netstore: shard_local -- each Histogram lives inside one world
+  mutable double cached_q_ = 0.0;
+};
+
+}  // namespace netstore::simx
