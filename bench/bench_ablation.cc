@@ -33,7 +33,7 @@ double postmark_like_msgs_per_op(core::TestbedConfig cfg) {
     bed.settle(sim::milliseconds(120));  // ~3.3 ops/s arrival rate
   }
   bed.settle(sim::seconds(40));
-  return static_cast<double>(bed.messages()) / kOps;
+  return static_cast<double>(bed.snapshot().messages) / kOps;
 }
 
 }  // namespace
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   std::printf("%-14s %14s\n", "interval (s)", "msgs/op");
   for (int secs : {1, 2, 5, 15, 30}) {
     core::TestbedConfig cfg;
-    cfg.commit_interval = sim::seconds(secs);
+    cfg.system.commit_interval = sim::seconds(secs);
     const double per_op = postmark_like_msgs_per_op(cfg);
     std::printf("%-14d %14.2f\n", secs, per_op);
     abl.row({"commit_interval", secs, "msgs_per_op", per_op});
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
     double times[2];
     for (int wan = 0; wan < 2; ++wan) {
       core::TestbedConfig cfg;
-      cfg.nfs_write_pool_slots = slots;
+      cfg.system.nfs_write_pool_slots = slots;
       core::Testbed bed(core::Protocol::kNfsV3, cfg);
       if (wan) bed.set_injected_rtt(sim::milliseconds(30));
       workloads::LargeIoConfig io;
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
   std::printf("%-14s %14s\n", "window (pages)", "time (s)");
   for (std::uint32_t window : {0u, 2u, 8u, 32u}) {
     core::TestbedConfig cfg;
-    cfg.fs_readahead_max = window;
+    cfg.system.fs_readahead_max = window;
     core::Testbed bed(core::Protocol::kIscsi, cfg);
     workloads::LargeIoConfig io;
     io.file_mb = 32;

@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "core/fleet.h"
 #include "core/testbed.h"
 
 namespace netstore::core {
@@ -33,6 +34,12 @@ class Checkpoint {
   /// interact with each other or with the stored image.
   [[nodiscard]] std::unique_ptr<Testbed> fork() const {
     return image_->fork();
+  }
+
+  /// A fresh fleet over a fresh fork: the standard shape of one contention
+  /// sweep point — warm system image, new workload half.
+  [[nodiscard]] std::unique_ptr<Fleet> fleet(WorkloadConfig workload) const {
+    return std::make_unique<Fleet>(fork(), workload);
   }
 
   [[nodiscard]] Protocol protocol() const { return image_->protocol(); }

@@ -48,7 +48,10 @@ struct CpuCosts {
   sim::Duration client_per_page = sim::microseconds(30);
 };
 
-struct TestbedConfig {
+/// System half of the testbed configuration: everything that describes
+/// the machines — protocol, device, cache and network knobs.  Fixed when
+/// the stack is built (and therefore baked into warm checkpoints).
+struct SystemConfig {
   net::LinkConfig link;
   rpc::RpcConfig rpc;
   iscsi::SessionParams iscsi;
@@ -85,6 +88,55 @@ struct TestbedConfig {
   // journal commit-ordering.  Off by default — audits re-read stripes and
   // add per-event checks; tests turn them on.
   bool invariant_audits = false;
+};
+
+/// Think-time distribution of the open-loop client arrival process.
+enum class ThinkTimeDist {
+  kExponential,  // Poisson arrivals (memoryless)
+  kPareto,       // heavy-tailed (bursts + long silences), the traced shape
+};
+
+/// Open-loop arrival process: each client independently issues its next
+/// operation one think time after the previous *arrival* (not completion),
+/// so offered load does not back off when the server saturates — queueing
+/// delay becomes visible instead of silently throttling the workload.
+struct ArrivalConfig {
+  double ops_per_client_per_s = 0.5;  // paper §6 trace rate per client
+  ThinkTimeDist think_time = ThinkTimeDist::kPareto;
+  // Pareto tail index; 1 < shape <= 2 gives the infinite-variance burst
+  // structure measured for interactive clients (mean stays calibrated to
+  // ops_per_client_per_s via pareto_with_mean).
+  double pareto_shape = 1.5;
+};
+
+/// Workload half of the testbed configuration: who drives the system and
+/// how hard.  Supplied per run (a fleet sweep varies it point to point
+/// against one warm SystemConfig image).
+struct WorkloadConfig {
+  std::uint64_t clients = 1;
+  std::uint64_t seed = 42;
+  ArrivalConfig arrival;
+
+  // Sharing structure (paper §6, Figure 7): each op targets the shared
+  // hot set with probability sharing_ratio, else the client's private
+  // files.  Shared-object popularity is Zipf-distributed.
+  double sharing_ratio = 0.25;
+  std::uint32_t shared_objects = 16;
+  double zipf_theta = 0.99;
+  double shared_write_fraction = 0.05;   // rare shared writes (EECS-like)
+  double private_write_fraction = 0.30;
+
+  // Open-loop operation budget of one run/sweep point.  Fixed per point —
+  // a 10^6-client point simulates the first `ops` arrivals of the fleet,
+  // not a million times more work than a 1-client point.
+  std::uint64_t ops = 4000;
+};
+
+/// Complete testbed configuration.  The split mirrors the two lifetimes:
+/// `system` is fixed at stack build time, `workload` varies per run.
+struct TestbedConfig {
+  WorkloadConfig workload;
+  SystemConfig system;
 };
 
 }  // namespace netstore::core

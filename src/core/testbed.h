@@ -95,27 +95,6 @@ class Testbed {
   /// Per-request trace spans (opened at VFS entry, closed at return).
   [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
 
-  // Legacy getters.  Benches poll these per operation, so each reads its
-  // one counter directly instead of materializing a full StatsSnapshot
-  // (which walks every cache in the stack) per call.
-  /// Protocol exchanges — the paper's "number of messages".
-  [[nodiscard]] std::uint64_t messages() const {
-    return protocol_ == Protocol::kIscsi ? initiator_->exchanges()
-                                         : rpc_->stats().calls.value();
-  }
-  /// Bytes on the wire (both directions).
-  [[nodiscard]] std::uint64_t bytes() const { return link_->total_bytes(); }
-  /// Raw link-level messages (PDUs / RPC frames), both directions.
-  [[nodiscard]] std::uint64_t raw_messages() const {
-    return link_->total_messages();
-  }
-  /// RPC retransmissions (NFS only; 0 for iSCSI).
-  [[nodiscard]] std::uint64_t retransmissions() const {
-    return protocol_ == Protocol::kIscsi
-               ? 0
-               : rpc_->stats().retransmissions.value();
-  }
-
   /// Zeroes traffic counters and opens a CPU measurement window.
   void reset_counters();
 

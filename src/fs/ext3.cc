@@ -1,6 +1,7 @@
 #include "fs/ext3.h"
 
 #include <algorithm>
+#include <bit>
 #include "core/buffer_pool.h"
 #include "core/check.h"
 #include <cstring>
@@ -103,11 +104,9 @@ void Ext3Fs::mkfs(block::BlockDevice& dev, const MkfsOptions& opts) {
     auto set_bit = [&](std::uint64_t bit) {
       buf[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
     };
-    std::uint32_t used = 0;
     auto mark = [&](Lba lba) {
       if (lba >= base && lba < base + kBlocksPerGroup) {
         set_bit(lba - base);
-        used++;
       }
     };
     if (g == 0) {
@@ -122,18 +121,35 @@ void Ext3Fs::mkfs(block::BlockDevice& dev, const MkfsOptions& opts) {
     for (std::uint32_t j = 0; j < itable_blocks; ++j) {
       mark(groups[g].inode_table + j);
     }
-    // Blocks beyond the end of the device (short last group).
+    // Blocks beyond the end of the device (short last group).  These can
+    // overlap the inode-table marks above, so the free count is taken
+    // from the finished bitmap, not incremented per mark.
     for (Lba b = base; b < base + kBlocksPerGroup; ++b) {
-      if (b >= total) {
-        set_bit(b - base);
-        used++;
-      }
+      if (b >= total) set_bit(b - base);
+    }
+    std::uint32_t used = 0;
+    for (const std::uint8_t byte : buf) {
+      used += static_cast<std::uint32_t>(std::popcount(byte));
     }
     groups[g].free_blocks = kBlocksPerGroup - used;
     dev.write(groups[g].block_bitmap, 1, buf, block::WriteMode::kAsync);
 
-    // Inode bitmap: all free, except inode 1 (root) in group 0.
+    // Inode bitmap: all free, except inode 1 (root) in group 0 and, in a
+    // short last group, inodes whose table block lies past the device end
+    // (allocating one would read/write beyond the array).
     std::fill(buf.begin(), buf.end(), 0);
+    const std::uint64_t usable_itable_blocks =
+        groups[g].inode_table >= total
+            ? 0
+            : std::min<std::uint64_t>(itable_blocks,
+                                      total - groups[g].inode_table);
+    const auto usable_inodes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(opts.inodes_per_group,
+                                usable_itable_blocks * kInodesPerBlock));
+    for (std::uint32_t i = usable_inodes; i < opts.inodes_per_group; ++i) {
+      buf[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+    groups[g].free_inodes = usable_inodes;
     if (g == 0) {
       buf[0] |= 1;
       groups[g].free_inodes--;

@@ -36,6 +36,7 @@ std::unique_ptr<Initiator> Initiator::clone(sim::Env& env, net::Link& link,
 
 void Initiator::login() {
   NETSTORE_CHECK_NE(state_, SessionState::kLoggedIn, "double login");
+  target_.claim_lun(params_.lun);  // exclusive ownership, before any I/O
   const sim::Time req = link_.send(
       Direction::kClientToServer, pdu_size(params_.login_negotiation_bytes));
   const sim::Time resp = link_.send_at(
@@ -56,6 +57,7 @@ void Initiator::logout() {
   env_.advance_to(resp);
   exchanges_.add(1);
   state_ = SessionState::kLoggedOut;
+  target_.release_lun(params_.lun);
 }
 
 sim::Time Initiator::issue_read(block::Lba lba, std::uint32_t nblocks,

@@ -17,6 +17,11 @@ enum class SessionState {
 };
 
 struct SessionParams {
+  // Logical unit this session binds to at login.  iSCSI exports raw block
+  // devices: a LUN has exactly one owner at a time (no cluster file
+  // system in the paper's testbed, §6), which is why block-access storage
+  // generates zero cache-coherence traffic under multi-client sharing.
+  std::uint32_t lun = 0;
   // Largest data segment in a single Data-In/Data-Out PDU.
   std::uint32_t max_recv_data_segment_length = 64 * 1024;
   // Largest total data transfer of one SCSI command sequence.

@@ -11,8 +11,10 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <unordered_set>
 
 #include "block/timed_cache.h"
+#include "core/check.h"
 #include "scsi/scsi.h"
 #include "sim/stats.h"
 #include "sim/time.h"
@@ -49,6 +51,22 @@ class Target {
     return commands_.value();
   }
 
+  /// Exclusive LUN ownership.  A session claims its LUN at login and
+  /// releases it at logout; claiming a LUN another session holds is a
+  /// CHECK-abort, not an error return — sharing a raw block device
+  /// between initiators corrupts the file system on it, so a testbed
+  /// that tries is misconfigured.  This is the structural reason the
+  /// fleet's iSCSI clients generate no coherence traffic: every client
+  /// multiplexes through the one session that owns the volume.
+  void claim_lun(std::uint32_t lun) {
+    NETSTORE_CHECK(claimed_luns_.insert(lun).second,
+                   "LUN already owned by another session");
+  }
+  void release_lun(std::uint32_t lun) { claimed_luns_.erase(lun); }
+  [[nodiscard]] bool lun_claimed(std::uint32_t lun) const {
+    return claimed_luns_.contains(lun);
+  }
+
   /// Orderly restart (cold-cache emulation): flush and drop the cache.
   void restart() { cache_.restart(); }
 
@@ -63,6 +81,7 @@ class Target {
   [[nodiscard]] std::unique_ptr<Target> clone(block::TimedCache& cache) const {
     auto copy = std::make_unique<Target>(cache, volume_blocks_);
     copy->commands_ = commands_;
+    copy->claimed_luns_ = claimed_luns_;
     return copy;
   }
 
@@ -73,6 +92,7 @@ class Target {
   // installs its own (see clone())
   TargetCostHook cost_hook_;
   sim::Counter commands_;
+  std::unordered_set<std::uint32_t> claimed_luns_;
 };
 
 }  // namespace netstore::iscsi

@@ -274,6 +274,19 @@ void NfsClient::invalidate_caches() {
   files_.clear();
 }
 
+bool NfsClient::expire_path_attrs(const std::string& path) {
+  if (!mounted_) return false;
+  Fh cur = root_;
+  for (const std::string& name : split_path(path)) {
+    auto it = dentries_.find(DentryKey{cur, name});
+    if (it == dentries_.end()) return false;
+    cur = it->second.fh;
+  }
+  const bool had = attrs_.erase(cur) > 0;
+  access_cache_.erase(cur);
+  return had;
+}
+
 // ---------------------------------------------------------------------------
 // Metadata operations
 // ---------------------------------------------------------------------------

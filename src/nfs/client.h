@@ -98,6 +98,16 @@ class NfsClient {
   /// cold-cache emulation (remount).
   void invalidate_caches();
 
+  /// Expires the cached attributes (and v4 ACCESS result) of the object at
+  /// `path`, walking the dentry cache only — no RPCs, no time.  The next
+  /// operation touching the path pays a real GETATTR consistency check
+  /// through the normal revalidation machinery.  This is how core::Fleet
+  /// models another client writing a shared object: writer's change makes
+  /// this client's 3 s window meaningless, exactly as an out-of-date
+  /// cached mtime would on Linux.  Returns false if the path is not fully
+  /// dentry-cached (nothing to expire — the next walk LOOKUPs anyway).
+  bool expire_path_attrs(const std::string& path);
+
   // --- path-based operations (the 17 system calls of Table 1) ---
   fs::Status mkdir(const std::string& path, std::uint16_t perm);
   fs::Status chdir(const std::string& path);
@@ -127,6 +137,7 @@ class NfsClient {
                                   std::span<const std::uint8_t> in);
   fs::Status fsync(Fh fh);
 
+  [[nodiscard]] const ClientConfig& config() const { return config_; }
   [[nodiscard]] const ClientStats& stats() const { return stats_; }
   /// Non-const access for MetricsRegistry adoption (src/obs).
   [[nodiscard]] ClientStats& mutable_stats() { return stats_; }

@@ -99,11 +99,11 @@ void Report::add_snapshot(const std::string& label,
 void Report::add_trace_summary(const std::string& label, Tracer& tracer) {
   ReportTable& t =
       table("trace:" + label, {"scope", "count", "mean_us", "min_us", "max_us",
-                               "p50_us", "p95_us", "p99_us"});
+                               "p50_us", "p95_us", "p99_us", "p999_us"});
   const auto row_of = [&t](const std::string& scope, sim::Sampler& s) {
     const sim::Sampler::Summary sum = s.summary();
     t.row({scope, static_cast<std::uint64_t>(sum.count), sum.mean, sum.min,
-           sum.max, sum.p50, sum.p95, sum.p99});
+           sum.max, sum.p50, sum.p95, sum.p99, sum.p999});
   };
   row_of("total", tracer.total_us());
   for (std::size_t i = 0; i < kComponentCount; ++i) {
@@ -130,7 +130,8 @@ void metric_json(std::ostringstream& os, const MetricValue& v) {
          << ",\"max\":" << format_double(v.summary.max)
          << ",\"p50\":" << format_double(v.summary.p50)
          << ",\"p95\":" << format_double(v.summary.p95)
-         << ",\"p99\":" << format_double(v.summary.p99) << "}";
+         << ",\"p99\":" << format_double(v.summary.p99)
+         << ",\"p999\":" << format_double(v.summary.p999) << "}";
       break;
     case MetricValue::Kind::kHistogram: {
       os << "{\"kind\":\"histogram\",\"total\":" << v.count << ",\"buckets\":[";
@@ -218,7 +219,7 @@ std::string Report::csv() const {
   }
   for (const auto& [label, snap] : snapshots_) {
     os << "# snapshot," << label << "\n";
-    os << "key,kind,count,mean,min,max,p50,p95,p99\n";
+    os << "key,kind,count,mean,min,max,p50,p95,p99,p999\n";
     for (const auto& [key, v] : snap) {
       const char* kind = v.kind == MetricValue::Kind::kCounter ? "counter"
                          : v.kind == MetricValue::Kind::kSampler
@@ -231,7 +232,8 @@ std::string Report::csv() const {
            << format_double(v.summary.max) << ","
            << format_double(v.summary.p50) << ","
            << format_double(v.summary.p95) << ","
-           << format_double(v.summary.p99);
+           << format_double(v.summary.p99) << ","
+           << format_double(v.summary.p999);
       }
       os << "\n";
     }

@@ -47,6 +47,7 @@ SpanId Tracer::begin(Op op, sim::Time now) {
   SpanRecord r;
   r.id = next_id_++;
   r.op = op;
+  r.client = client_context_;
   r.start = now;
   active_.push_back(r);
   return r.id;
@@ -126,6 +127,7 @@ void Tracer::clone_from(const Tracer& src) {
   ring_ = src.ring_;
   next_id_ = src.next_id_;
   suspended_ = src.suspended_;
+  client_context_ = src.client_context_;
   completed_ = src.completed_;
   overattributed_ = src.overattributed_;
   component_us_ = src.component_us_;

@@ -88,6 +88,23 @@ class Rng {
     return -mean * std::log1p(-u);
   }
 
+  /// Pareto-distributed value with the given tail index `shape` (> 0) and
+  /// minimum `scale` (> 0): x = scale / u^(1/shape).  Heavy-tailed — for
+  /// shape <= 2 the variance is infinite, which is the regime measured for
+  /// user think times and file popularity; the occasional enormous pause
+  /// is the point, not an outlier.
+  double pareto(double shape, double scale) {
+    double u = uniform01();
+    if (u <= 0.0) u = std::nextafter(0.0, 1.0);
+    return scale * std::pow(u, -1.0 / shape);
+  }
+
+  /// Pareto value parameterized by its mean (requires shape > 1, where the
+  /// mean scale*shape/(shape-1) is finite).
+  double pareto_with_mean(double shape, double mean) {
+    return pareto(shape, mean * (shape - 1.0) / shape);
+  }
+
   /// In-place Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

@@ -36,6 +36,7 @@ class Sampler {
     double p50 = 0;
     double p95 = 0;
     double p99 = 0;
+    double p999 = 0;
   };
 
   void record(double v) {

@@ -74,7 +74,7 @@ TpccResult run_tpcc(core::Testbed& bed, const TpccConfig& cfg) {
   TpccResult res;
   res.tpm = static_cast<double>(cfg.transactions) /
             (sim::to_seconds(t1 - t0) / 60.0);
-  res.messages = bed.messages();
+  res.messages = bed.snapshot().messages;
   res.server_cpu_p95 = bed.server_cpu().utilization_percentile(95, t1);
   res.client_cpu_p95 = bed.client_cpu().utilization_percentile(95, t1);
   return res;
@@ -126,7 +126,7 @@ TpchResult run_tpch(core::Testbed& bed, const TpchConfig& cfg) {
   TpchResult res;
   res.qph = static_cast<double>(cfg.queries) /
             (sim::to_seconds(t1 - t0) / 3600.0);
-  res.messages = bed.messages();
+  res.messages = bed.snapshot().messages;
   res.server_cpu_p95 = bed.server_cpu().utilization_percentile(95, t1);
   res.client_cpu_p95 = bed.client_cpu().utilization_percentile(95, t1);
   return res;

@@ -91,7 +91,7 @@ KernelTreeResult run_kernel_tree(core::Testbed& bed,
   sim::Time t1 = bed.env().now();
   bed.settle(sim::seconds(40));
   res.tar_seconds = sim::to_seconds(t1 - t0);
-  res.tar_messages = bed.messages();
+  res.tar_messages = bed.snapshot().messages;
 
   // --- ls -lR ---
   bed.cold_caches();
@@ -100,7 +100,7 @@ KernelTreeResult run_kernel_tree(core::Testbed& bed,
   walk_ls(bed, "/linux");
   t1 = bed.env().now();
   res.ls_seconds = sim::to_seconds(t1 - t0);
-  res.ls_messages = bed.messages();
+  res.ls_messages = bed.snapshot().messages;
 
   // --- make (compile) ---
   bed.cold_caches();
@@ -128,7 +128,7 @@ KernelTreeResult run_kernel_tree(core::Testbed& bed,
   t1 = bed.env().now();
   bed.settle(sim::seconds(40));
   res.compile_seconds = sim::to_seconds(t1 - t0);
-  res.compile_messages = bed.messages();
+  res.compile_messages = bed.snapshot().messages;
 
   // --- rm -rf ---
   bed.cold_caches();
@@ -139,7 +139,7 @@ KernelTreeResult run_kernel_tree(core::Testbed& bed,
   t1 = bed.env().now();
   bed.settle(sim::seconds(12));
   res.rm_seconds = sim::to_seconds(t1 - t0);
-  res.rm_messages = bed.messages();
+  res.rm_messages = bed.snapshot().messages;
   return res;
 }
 

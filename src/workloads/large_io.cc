@@ -53,11 +53,12 @@ LargeIoResult run_large_read(core::Testbed& bed, const LargeIoConfig& cfg) {
   }
   (void)v.close(*rfd);
 
+  const core::StatsSnapshot snap = bed.snapshot();
   LargeIoResult res;
   res.seconds = sim::to_seconds(bed.env().now() - t0);
-  res.messages = bed.messages();
-  res.bytes = bed.bytes();
-  res.retransmissions = bed.retransmissions();
+  res.messages = snap.messages;
+  res.bytes = snap.bytes;
+  res.retransmissions = snap.retransmissions;
   return res;
 }
 
@@ -89,11 +90,12 @@ LargeIoResult run_large_write(core::Testbed& bed, const LargeIoConfig& cfg) {
   (void)v.fsync(*fd);
   (void)v.close(*fd);
 
+  const core::StatsSnapshot snap = bed.snapshot();
   LargeIoResult res;
   res.seconds = sim::to_seconds(bed.env().now() - t0);
-  res.messages = bed.messages();
-  res.bytes = bed.bytes();
-  res.retransmissions = bed.retransmissions();
+  res.messages = snap.messages;
+  res.bytes = snap.bytes;
+  res.retransmissions = snap.retransmissions;
   if (!bed.is_nfs()) {
     const auto cmds = bed.initiator().write_commands();
     if (cmds > 0) {

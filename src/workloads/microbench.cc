@@ -134,7 +134,7 @@ std::uint64_t Microbench::cold_op(const std::string& op, int depth) {
   bed_.reset_counters();
   run_op(op, prefix, 0);
   bed_.settle(sim::seconds(12));  // count the deferred journal commit
-  return bed_.messages();
+  return bed_.snapshot().messages;
 }
 
 std::uint64_t Microbench::warm_op(const std::string& op, int depth,
@@ -151,7 +151,7 @@ std::uint64_t Microbench::warm_op(const std::string& op, int depth,
   bed_.reset_counters();
   run_op(op, prefix, 1);
   bed_.settle(sim::seconds(12));
-  return bed_.messages();
+  return bed_.snapshot().messages;
 }
 
 double Microbench::batch_op(const std::string& op, std::uint32_t n) {
@@ -197,7 +197,7 @@ double Microbench::batch_op(const std::string& op, std::uint32_t n) {
   }
   bed_.settle(sim::seconds(12));
   (void)wfd0;
-  return static_cast<double>(bed_.messages()) / n;
+  return static_cast<double>(bed_.snapshot().messages) / n;
 }
 
 std::uint64_t Microbench::io_op(bool is_write, std::uint32_t bytes,
@@ -236,7 +236,7 @@ std::uint64_t Microbench::io_op(bool is_write, std::uint32_t bytes,
   }
   (void)v.close(*iofd);
   bed_.settle(sim::seconds(12));
-  return bed_.messages();
+  return bed_.snapshot().messages;
 }
 
 }  // namespace netstore::workloads

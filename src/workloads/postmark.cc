@@ -53,7 +53,7 @@ class Postmark {
     const sim::Time t1 = bed_.env().now();
 
     res.seconds = sim::to_seconds(t1 - t0);
-    res.messages = bed_.messages();
+    res.messages = bed_.snapshot().messages;
     res.server_cpu_p95 = bed_.server_cpu().utilization_percentile(95, t1);
     res.client_cpu_p95 = bed_.client_cpu().utilization_percentile(95, t1);
     return res;

@@ -22,9 +22,9 @@ TEST(AccountingTest, BytesExceedPayloadAndIncludeHeaders) {
     ASSERT_TRUE(bed.vfs().fsync(*fd).ok());
     bed.settle();
     // Everything written crossed the wire at least once, plus headers.
-    EXPECT_GT(bed.bytes(), data.size()) << core::to_string(p);
+    EXPECT_GT(bed.snapshot().bytes, data.size()) << core::to_string(p);
     // ...but not absurdly more (no duplication bug).
-    EXPECT_LT(bed.bytes(), data.size() * 3) << core::to_string(p);
+    EXPECT_LT(bed.snapshot().bytes, data.size() * 3) << core::to_string(p);
   }
 }
 
@@ -36,20 +36,22 @@ TEST(AccountingTest, RawMessagesAtLeastExchanges) {
     (void)bed.vfs().stat("/d");
     bed.settle();
     // Every exchange is >= 1 request and usually a reply on the wire.
-    EXPECT_GE(bed.raw_messages(), bed.messages()) << core::to_string(p);
-    EXPECT_LE(bed.messages() * 3 + 4, bed.raw_messages() * 3 + 4);
+    const core::StatsSnapshot snap = bed.snapshot();
+    EXPECT_GE(snap.raw_messages, snap.messages) << core::to_string(p);
+    EXPECT_LE(snap.messages * 3 + 4, snap.raw_messages * 3 + 4);
   }
 }
 
 TEST(AccountingTest, ResetCountersZeroesEverything) {
   Testbed bed(Protocol::kNfsV3);
   ASSERT_TRUE(bed.vfs().mkdir("/d", 0755).ok());
-  ASSERT_GT(bed.messages(), 0u);
+  ASSERT_GT(bed.snapshot().messages, 0u);
   bed.reset_counters();
-  EXPECT_EQ(bed.messages(), 0u);
-  EXPECT_EQ(bed.bytes(), 0u);
-  EXPECT_EQ(bed.raw_messages(), 0u);
-  EXPECT_EQ(bed.retransmissions(), 0u);
+  const core::StatsSnapshot snap = bed.snapshot();
+  EXPECT_EQ(snap.messages, 0u);
+  EXPECT_EQ(snap.bytes, 0u);
+  EXPECT_EQ(snap.raw_messages, 0u);
+  EXPECT_EQ(snap.retransmissions, 0u);
 }
 
 TEST(AccountingTest, VirtualTimeMonotone) {
@@ -75,9 +77,9 @@ TEST(AccountingTest, ColdCachesCostsNoMeasuredMessages) {
   bed.settle();
   bed.cold_caches();
   bed.reset_counters();
-  EXPECT_EQ(bed.messages(), 0u);
+  EXPECT_EQ(bed.snapshot().messages, 0u);
   (void)bed.vfs().stat("/d");
-  const std::uint64_t after_stat = bed.messages();
+  const std::uint64_t after_stat = bed.snapshot().messages;
   EXPECT_GT(after_stat, 0u);
   EXPECT_LT(after_stat, 10u);
 }
@@ -89,14 +91,14 @@ TEST(AccountingTest, SettleOnlyAddsDeferredTraffic) {
   bed.cold_caches();
   bed.reset_counters();
   ASSERT_TRUE(bed.vfs().mkdir("/d/sub", 0755).ok());
-  const std::uint64_t at_return = bed.messages();
+  const std::uint64_t at_return = bed.snapshot().messages;
   bed.settle();
-  const std::uint64_t after_settle = bed.messages();
+  const std::uint64_t after_settle = bed.snapshot().messages;
   // The journal commit (2 messages) fires during settle, not at return.
   EXPECT_EQ(after_settle - at_return, 2u);
   // And settling again adds nothing.
   bed.settle();
-  EXPECT_EQ(bed.messages(), after_settle);
+  EXPECT_EQ(bed.snapshot().messages, after_settle);
 }
 
 TEST(AccountingTest, CpuWindowRestartsWithReset) {

@@ -32,7 +32,7 @@ std::uint64_t fnv1a(std::uint64_t h, std::span<const std::uint8_t> data) {
 
 TestbedConfig audited_config() {
   TestbedConfig cfg;
-  cfg.invariant_audits = true;
+  cfg.system.invariant_audits = true;
   return cfg;
 }
 
@@ -94,10 +94,11 @@ void run_digest(Protocol proto, std::uint64_t seed, std::string* out) {
   // flushes) run so its traffic lands in the counters too.
   bed.settle();
 
+  const core::StatsSnapshot snap = bed.snapshot();
   std::ostringstream digest;
   digest << to_string(proto) << " seed=" << seed
-         << " msgs=" << bed.messages() << " raw=" << bed.raw_messages()
-         << " bytes=" << bed.bytes() << " rexmit=" << bed.retransmissions()
+         << " msgs=" << snap.messages << " raw=" << snap.raw_messages
+         << " bytes=" << snap.bytes << " rexmit=" << snap.retransmissions
          << " now=" << bed.env().now()
          << " srv_cpu=" << bed.server_cpu().total_busy()
          << " cli_cpu=" << bed.client_cpu().total_busy()

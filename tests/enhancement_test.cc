@@ -26,8 +26,9 @@ TEST(ConsistentCacheTest, EliminatesRevalidationMessages) {
       bed->settle(sim::seconds(4));
     }
   }
-  EXPECT_GT(plain.messages(), 0u);
-  EXPECT_EQ(enhanced.messages(), 0u);  // every stat served from the cache
+  EXPECT_GT(plain.snapshot().messages, 0u);
+  // every stat served from the cache
+  EXPECT_EQ(enhanced.snapshot().messages, 0u);
 }
 
 TEST(DelegationTest, MetadataUpdatesAggregateIntoCompounds) {
@@ -37,10 +38,10 @@ TEST(DelegationTest, MetadataUpdatesAggregateIntoCompounds) {
     ASSERT_TRUE(bed.vfs().mkdir("/d" + std::to_string(i), 0755).ok());
   }
   // Nothing shipped yet: all updates queued under the delegation.
-  EXPECT_EQ(bed.messages(), 0u);
+  EXPECT_EQ(bed.snapshot().messages, 0u);
   bed.settle(sim::seconds(10));  // flush interval fires
   // 32 updates in compounds of 16: two exchanges.
-  EXPECT_EQ(bed.messages(), 2u);
+  EXPECT_EQ(bed.snapshot().messages, 2u);
   // The directories are real at the server now.
   EXPECT_TRUE(bed.vfs().stat("/d31").ok());
 }
@@ -56,7 +57,7 @@ TEST(DelegationTest, CreateDeleteAnnihilation) {
     ASSERT_TRUE(bed.vfs().rmdir(p).ok());
   }
   bed.settle(sim::seconds(10));
-  EXPECT_EQ(bed.messages(), 0u);
+  EXPECT_EQ(bed.snapshot().messages, 0u);
   EXPECT_EQ(bed.nfs_client().pending_delegated_updates(), 0u);
 }
 
@@ -69,7 +70,7 @@ TEST(DelegationTest, DataDefersLocallyAndShipsAtFlush) {
   ASSERT_TRUE(bed.vfs().write(*fd, 0, data).ok());
   // Nothing has touched the server yet — data and meta-data are both
   // deferred under the delegation.
-  EXPECT_EQ(bed.messages(), 0u);
+  EXPECT_EQ(bed.snapshot().messages, 0u);
   // Read-your-writes from the local buffer.
   std::vector<std::uint8_t> out(5000);
   auto n = bed.vfs().read(*fd, 0, out);
@@ -103,7 +104,7 @@ TEST(DelegationTest, DeletedBeforeFlushNeverTouchesTheServer) {
     ASSERT_TRUE(bed.vfs().unlink(p).ok());
   }
   bed.settle(sim::seconds(10));
-  EXPECT_EQ(bed.messages(), 0u);
+  EXPECT_EQ(bed.snapshot().messages, 0u);
 }
 
 TEST(DelegationTest, FsyncForcesDurabilityThroughTheServer) {

@@ -116,8 +116,6 @@ std::string digest(Testbed& bed) {
      << " scpu=" << s.server_cpu_busy << " ccpu=" << s.client_cpu_busy
      << std::hexfloat << " chit=" << s.client_cache_hit_ratio
      << " shit=" << s.server_cache_hit_ratio << std::defaultfloat;
-  os << " legacy=" << bed.messages() << "/" << bed.bytes() << "/"
-     << bed.raw_messages() << "/" << bed.retransmissions();
 
   // Read every file back through the stack: exercises the cloned page /
   // attribute / block caches and folds the contents into the digest.

@@ -341,5 +341,37 @@ TEST_F(FsTest, FreeCountsConserved) {
   EXPECT_EQ(fs_->free_blocks(), blocks0);
 }
 
+// Regression: a device whose size is not a multiple of the group size
+// gets a short last group.  mkfs used to (a) underflow that group's
+// free-block count — the metadata marks and the beyond-device marks
+// overlap there and were double-counted — which made the directory-
+// placement heuristic funnel every new directory into it, and (b)
+// advertise the full inodes_per_group even though most of the tail
+// group's inode table lies past the device end.  Together these walked
+// inode-table I/O off the end of the array once enough files existed.
+TEST(FsShortLastGroupTest, AllocationStaysInsideTheDevice) {
+  sim::Env env;
+  block::MemBlockDevice dev(kBlocksPerGroup + 64);  // full group + 64-block tail
+  Ext3Fs::mkfs(dev, MkfsOptions{});
+  Ext3Fs fs(env, dev, Ext3Params{});
+  fs.mount();
+
+  // Sane accounting: free counts bounded by what the device can hold.
+  EXPECT_LT(fs.free_blocks(), dev.block_count());
+  // Tail group's usable inode table is 62 blocks = 1984 inodes; group 0
+  // contributes 8192 - 1 (root).  Anything above that is phantom.
+  EXPECT_LE(fs.free_inodes(), 8192u - 1 + 1984);
+
+  // More creations than the tail group's in-device inode table can hold:
+  // with the broken accounting the inode table ran past the device end
+  // and died on the block-layer bounds check.
+  for (int d = 0; d < 2200; ++d) {
+    auto ino = fs.mkdir(kRootIno, "d" + std::to_string(d), 0755);
+    ASSERT_TRUE(ino.ok()) << "mkdir #" << d;
+    ASSERT_TRUE(fs.getattr(*ino).ok());
+  }
+  fs.unmount();
+}
+
 }  // namespace
 }  // namespace netstore::fs

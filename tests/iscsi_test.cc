@@ -86,6 +86,7 @@ TEST_F(IscsiTest, AsyncWritesDontBlockCaller) {
 
 TEST_F(IscsiTest, QueueDepthAppliesBackpressure) {
   SessionParams params;
+  params.lun = 1;  // the fixture's session owns LUN 0 exclusively
   params.queue_depth = 4;
   Initiator tight(env_, link_, target_, params);
   tight.login();

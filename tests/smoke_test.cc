@@ -44,7 +44,7 @@ TEST_P(SmokeTest, MkdirCreateWriteReadBack) {
   EXPECT_EQ(st->type(), fs::FileType::kRegular);
 
   EXPECT_TRUE(v.close(*fd).ok());
-  EXPECT_GT(bed.messages(), 0u);
+  EXPECT_GT(bed.snapshot().messages, 0u);
 }
 
 TEST_P(SmokeTest, MetadataOps) {

@@ -16,6 +16,9 @@ Checks, per file:
   * any "pool" snapshot (BufferPool telemetry, NETSTORE_POOL_STATS=1):
     all four pool.* counters present, and alloc_fallbacks consistent
     with slab capacity (every fallback consumes one fresh slab frame)
+  * any snapshot whose label starts with "fleet": the fleet.* metric
+    keys (ops counter, response/queue-delay/service samplers, per-client
+    fairness sampler) present with consistent counts
 
 Exit status 0 iff every file passes.  Stdlib only.
 """
@@ -49,7 +52,7 @@ def check_metric(key, v):
             return False
         return all(
             isinstance(v.get(f), (int, float)) and math.isfinite(v[f])
-            for f in ("mean", "min", "max", "p50", "p95", "p99")
+            for f in ("mean", "min", "max", "p50", "p95", "p99", "p999")
         )
     if kind == "histogram":
         if not isinstance(v.get("total"), int):
@@ -133,6 +136,46 @@ def check_pool_snapshot(path, metrics):
     return True
 
 
+FLEET_COUNTERS = (
+    "fleet.ops",
+    "fleet.shared_ops",
+    "fleet.forced_revalidations",
+)
+FLEET_SAMPLERS = (
+    "fleet.response_us",
+    "fleet.queue_delay_us",
+    "fleet.service_us",
+    "fleet.client_mean_us",
+)
+
+
+def check_fleet_snapshot(path, label, metrics):
+    """core::Fleet telemetry: the fleet.* namespace, internally consistent."""
+    ok = True
+    for key in FLEET_COUNTERS:
+        v = metrics.get(key)
+        if not (isinstance(v, dict) and v.get("kind") == "counter"):
+            ok = fail(path, f"snapshot {label!r}: missing counter {key!r}")
+    for key in FLEET_SAMPLERS:
+        v = metrics.get(key)
+        if not (isinstance(v, dict) and v.get("kind") == "sampler"):
+            ok = fail(path, f"snapshot {label!r}: missing sampler {key!r}")
+    if not ok:
+        return False
+    ops = metrics["fleet.ops"]["value"]
+    for key in ("fleet.response_us", "fleet.queue_delay_us",
+                "fleet.service_us"):
+        if metrics[key]["count"] != ops:
+            return fail(
+                path,
+                f"snapshot {label!r}: {key} has {metrics[key]['count']} "
+                f"samples but fleet.ops is {ops}",
+            )
+    if metrics["fleet.shared_ops"]["value"] > ops:
+        return fail(path, f"snapshot {label!r}: more shared ops than ops")
+    return True
+
+
 def check_report(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -183,6 +226,8 @@ def check_report(path):
                 ok = fail(path, f"snapshot {label!r}: bad metric {key!r}")
         if label == "pool":
             ok = check_pool_snapshot(path, metrics) and ok
+        if label.startswith("fleet"):
+            ok = check_fleet_snapshot(path, label, metrics) and ok
 
     if ok:
         nrows = sum(len(t["rows"]) for t in r["tables"])
