@@ -31,9 +31,18 @@
 //                 steady-state data path must run off the frame free
 //                 list, so this is ~0 once caches are warm.
 //
+//   shard speedup  (--shards N) the sharded parallel drive (DESIGN.md
+//                 §17): an NFSv3 fleet of --shard-clients flyweights
+//                 driven sequentially, then again across {1, 2, 4, ...,
+//                 N} per-shard reactors under conservative lookahead.
+//                 Wall-clock, so it needs >= N free hardware threads to
+//                 show the parallel win.
+//
 //   bench_sim_selfperf [--events N] [--syscalls N] [--json PATH]
+//                      [--shards N] [--shard-clients N] [--shard-ops N]
 //                      [--min-events-per-sec X] [--min-sweep-speedup X]
-//                      [--min-fork-speedup X] [--max-allocs-per-syscall X]
+//                      [--min-fork-speedup X] [--min-shard-speedup X]
+//                      [--max-allocs-per-syscall X]
 //
 // The --min-*/--max-* flags make the binary a CI gate: exit 1 if any
 // measured value lands on the wrong side of its floor/ceiling.
@@ -331,11 +340,71 @@ ForkCost fork_cost(netstore::core::Protocol p) {
   return res;
 }
 
+// --- shard scaling (sharded parallel drive, DESIGN.md §17) ---------------
+
+struct ShardPoint {
+  std::uint32_t shards = 1;
+  double drive_ms = 0.0;
+  double speedup_x = 0.0;  // vs the shards=1 sequential drive
+  std::uint64_t epochs = 0;
+  std::uint64_t xshard_msgs = 0;
+};
+
+// One NFS fleet of `clients` flyweights per shard count: a warm
+// checkpoint provides the worlds, setup() runs outside the timed window,
+// so each point times the drive itself — the sequential arrival loop at
+// shards=1 against the barrier-epoch parallel drive above it.  The
+// speedup is wall-clock and therefore host-dependent: it needs >= shards
+// free hardware threads to mean anything (the CI gate runs on 4-vCPU
+// runners; a 1-core container will honestly report ~1x).
+std::vector<ShardPoint> shard_scaling(std::uint32_t max_shards,
+                                      std::uint64_t clients,
+                                      std::uint64_t ops) {
+  using netstore::core::Checkpoint;
+  using netstore::core::Protocol;
+  using netstore::core::Testbed;
+  using netstore::core::WorkloadConfig;
+
+  Testbed proto(Protocol::kNfsV3);
+  proto.quiesce();
+  Checkpoint cp(proto);
+
+  std::vector<std::uint32_t> counts{1};
+  for (std::uint32_t s = 2; s <= max_shards; s *= 2) counts.push_back(s);
+  if (counts.back() != max_shards) counts.push_back(max_shards);
+
+  std::vector<ShardPoint> points;
+  double base_ms = 0.0;
+  for (std::uint32_t s : counts) {
+    WorkloadConfig w;
+    w.clients = clients;
+    w.ops = ops;
+    w.seed = 42;
+    w.shards = s;
+    auto fleet = cp.fleet(w);
+    fleet->setup();
+    const auto t0 = Clock::now();
+    fleet->run();
+    const double ms = seconds_since(t0) * 1e3;
+    if (s == 1) base_ms = ms;
+    ShardPoint pt;
+    pt.shards = s;
+    pt.drive_ms = ms;
+    pt.speedup_x = ms > 0 ? base_ms / ms : 0.0;
+    pt.epochs = fleet->epochs();
+    pt.xshard_msgs = fleet->cross_shard_messages();
+    points.push_back(pt);
+  }
+  return points;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--events N] [--syscalls N] [--json PATH] "
+               "[--shards N] [--shard-clients N] [--shard-ops N] "
                "[--min-events-per-sec X] [--min-sweep-speedup X] "
-               "[--min-fork-speedup X] [--max-allocs-per-syscall X]\n",
+               "[--min-fork-speedup X] [--min-shard-speedup X] "
+               "[--max-allocs-per-syscall X]\n",
                argv0);
   return 2;
 }
@@ -351,9 +420,15 @@ int main(int argc, char** argv) {
   // already generous.  --chains explores deeper queues.
   int chains = 4;
   std::string json_path;
+  // --shards 0 (default) skips the shard-scaling section entirely; the
+  // perf-smoke CI job passes --shards 4 --min-shard-speedup 1.8.
+  std::uint32_t shards = 0;
+  std::uint64_t shard_clients = 100'000;
+  std::uint64_t shard_ops = 20'000;
   double min_events_per_sec = 0.0;
   double min_sweep_speedup = 0.0;
   double min_fork_speedup = 0.0;
+  double min_shard_speedup = 0.0;
   double max_allocs_per_syscall = -1.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -372,8 +447,16 @@ int main(int argc, char** argv) {
       min_events_per_sec = std::strtod(argv[++i], nullptr);
     } else if (arg == "--min-sweep-speedup" && has_value) {
       min_sweep_speedup = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--shards" && has_value) {
+      shards = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--shard-clients" && has_value) {
+      shard_clients = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--shard-ops" && has_value) {
+      shard_ops = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--min-fork-speedup" && has_value) {
       min_fork_speedup = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--min-shard-speedup" && has_value) {
+      min_shard_speedup = std::strtod(argv[++i], nullptr);
     } else if (arg == "--max-allocs-per-syscall" && has_value) {
       max_allocs_per_syscall = std::strtod(argv[++i], nullptr);
     } else {
@@ -413,6 +496,11 @@ int main(int argc, char** argv) {
     forks.push_back(fork_cost(p));
   }
 
+  std::vector<ShardPoint> shard_points;
+  if (shards >= 2) {
+    shard_points = shard_scaling(shards, shard_clients, shard_ops);
+  }
+
   std::printf("%-24s %16s\n", "metric", "per second");
   std::printf("%-24s %16.0f\n", "events (current)", current);
   std::printf("%-24s %16.0f\n", "events (legacy)", legacy);
@@ -437,6 +525,17 @@ int main(int argc, char** argv) {
                 netstore::core::to_string(fc.proto),
                 static_cast<unsigned long long>(fc.image_pages), fc.fork_us,
                 fc.page_copy_us, fc.speedup());
+  }
+  double gated_shard_x = 0.0;  // the speedup at the requested shard count
+  for (const ShardPoint& pt : shard_points) {
+    if (pt.shards == shards) gated_shard_x = pt.speedup_x;
+    std::printf("shards %2u: drive %8.1f ms, speedup %.2fx, %llu epochs, "
+                "%llu xshard msgs (NFSv3, %llu clients, %llu ops)\n",
+                pt.shards, pt.drive_ms, pt.speedup_x,
+                static_cast<unsigned long long>(pt.epochs),
+                static_cast<unsigned long long>(pt.xshard_msgs),
+                static_cast<unsigned long long>(shard_clients),
+                static_cast<unsigned long long>(shard_ops));
   }
 
   if (!json_path.empty()) {
@@ -466,6 +565,17 @@ int main(int argc, char** argv) {
       fk.row({netstore::core::to_string(fc.proto), fc.image_pages, fc.fork_us,
               fc.page_copy_us, fc.speedup()});
     }
+    if (!shard_points.empty()) {
+      auto& sh = report.table(
+          "shard_scaling",
+          {"shards", "clients", "ops", "drive_ms", "speedup_x", "epochs",
+           "xshard_messages"});
+      for (const ShardPoint& pt : shard_points) {
+        sh.row({static_cast<std::uint64_t>(pt.shards), shard_clients,
+                shard_ops, pt.drive_ms, pt.speedup_x, pt.epochs,
+                pt.xshard_msgs});
+      }
+    }
     auto& ap = report.table("pool_path", {"metric", "value"});
     ap.row({"allocs_per_syscall_iscsi", sys_iscsi.allocs_per_syscall});
     ap.row({"allocs_per_syscall_nfsv3", sys_nfsv3.allocs_per_syscall});
@@ -493,6 +603,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: fork speedup %.2fx below floor %.2fx\n",
                  min_fork_x, min_fork_speedup);
     return 1;
+  }
+  if (min_shard_speedup > 0) {
+    if (shards < 2) {
+      std::fprintf(stderr,
+                   "FAIL: --min-shard-speedup needs --shards >= 2\n");
+      return 1;
+    }
+    if (gated_shard_x < min_shard_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: shard speedup %.2fx at %u shards below floor "
+                   "%.2fx\n",
+                   gated_shard_x, shards, min_shard_speedup);
+      return 1;
+    }
   }
   if (max_allocs_per_syscall >= 0) {
     const double worst =

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "sim/event_heap.h"
 #include "sim/task.h"
@@ -66,6 +67,19 @@ class Env {
 
   /// Number of events not yet fired.
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Deadline of the earliest pending event, or kNoEvent when the queue
+  /// is empty.  Shard bodies use this to report their next work time for
+  /// epoch-horizon skipping (sharded_env.h).
+  static constexpr Time kNoEvent = std::numeric_limits<Time>::max();
+  [[nodiscard]] Time next_event_at() const {
+    return queue_.empty() ? kNoEvent : queue_.top().at;
+  }
+
+  /// Reactor placement (sharded_env.h): which shard this Env belongs to.
+  /// 0 for a standalone sequential environment; assigned by ShardedEnv.
+  void set_shard(std::uint32_t s) { shard_ = s; }
+  [[nodiscard]] std::uint32_t shard() const { return shard_; }
 
   /// Enables runtime invariant audits (debug tooling, off by default):
   /// every event dispatch verifies that the clock never moves backwards
@@ -134,6 +148,9 @@ class Env {
   std::uint64_t audit_last_pop_seq_ = 0;
   std::uint64_t audit_seq_snapshot_ = 0;
   std::uint64_t next_seq_ = 0;
+  // netstore: not_cloned -- reactor placement, reassigned by the owning
+  // ShardedEnv / Testbed after a fork, not simulated state
+  std::uint32_t shard_ = 0;
   DaryHeap<Event, Sooner> queue_;
 };
 

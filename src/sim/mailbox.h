@@ -1,0 +1,50 @@
+// Double-buffered SPSC mailbox: the only channel between shard reactors.
+//
+// A sharded simulation (sharded_env.h, DESIGN.md §17) gives every ordered
+// shard pair (src, dst) its own mailbox.  Exactly one thread writes it
+// (src's reactor, during an epoch) and exactly one thread reads it (dst's
+// reactor, at the start of the *next* epoch), so no element-level locking
+// is needed: the epoch barrier is the only synchronization point, and it
+// alternates which of the two buffers each side touches.
+//
+// Contract (enforced by ShardedEnv's loop structure, not by this class):
+//   * during epoch k the producer appends to side(k);
+//   * at the start of epoch k+1 — strictly after the barrier that ends
+//     epoch k — the consumer drains side(k);
+//   * the producer next writes side(k) again in epoch k+2, which it can
+//     only reach through the barrier ending epoch k+1, i.e. after the
+//     consumer arrived there with the drain complete.
+// Every access is therefore separated from the conflicting one by at
+// least one barrier, which provides the happens-before edge; the buffers
+// themselves are plain vectors.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace netstore::sim {
+
+template <typename T>
+class SpscMailbox {
+ public:
+  /// Appends `msg` to the buffer for epoch `epoch` (producer side).
+  void push(std::uint64_t epoch, T msg) {
+    buf_[epoch & 1].push_back(std::move(msg));
+  }
+
+  /// The buffer written during epoch `epoch` (consumer side: drain and
+  /// clear it during epoch `epoch + 1`).
+  [[nodiscard]] std::vector<T>& side(std::uint64_t epoch) {
+    return buf_[epoch & 1];
+  }
+
+  [[nodiscard]] bool both_empty() const {
+    return buf_[0].empty() && buf_[1].empty();
+  }
+
+ private:
+  std::vector<T> buf_[2];
+};
+
+}  // namespace netstore::sim

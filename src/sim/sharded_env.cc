@@ -1,0 +1,129 @@
+#include "sim/sharded_env.h"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <utility>
+
+#include "core/check.h"
+
+namespace netstore::sim {
+
+ShardedEnv::ShardedEnv(std::uint32_t shards, Duration lookahead)
+    : lookahead_(lookahead) {
+  NETSTORE_CHECK_GE(shards, 1u, "a sharded env needs at least one shard");
+  NETSTORE_CHECK_GT(lookahead, Duration{0}, "lookahead must be positive");
+  owned_.reserve(shards);
+  shards_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    owned_.push_back(std::make_unique<Env>());
+    shards_.push_back(owned_.back().get());
+  }
+  for (std::uint32_t s = 0; s < shards; ++s) shards_[s]->set_shard(s);
+  mailboxes_.resize(static_cast<std::size_t>(shards) * shards);
+  next_work_.assign(shards, kIdle);
+}
+
+ShardedEnv::ShardedEnv(std::vector<Env*> shards, Duration lookahead)
+    : shards_(std::move(shards)), lookahead_(lookahead) {
+  NETSTORE_CHECK_GE(shards_.size(), std::size_t{1},
+                    "a sharded env needs at least one shard");
+  NETSTORE_CHECK_GT(lookahead, Duration{0}, "lookahead must be positive");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    NETSTORE_CHECK(shards_[s] != nullptr, "null shard Env");
+    shards_[s]->set_shard(static_cast<std::uint32_t>(s));
+  }
+  mailboxes_.resize(shards_.size() * shards_.size());
+  next_work_.assign(shards_.size(), kIdle);
+}
+
+void ShardedEnv::post(std::uint32_t src, std::uint32_t dst, Time deliver_at,
+                      Task fn) {
+  NETSTORE_CHECK(src < shards_.size() && dst < shards_.size(),
+                 "cross-shard post: shard index out of range");
+  const Time send_time = shards_[src]->now();
+  // The cross-shard causality audit: nothing may travel faster than the
+  // lookahead bound, or a receiver could have simulated past the delivery
+  // time of a message it has not seen yet.
+  NETSTORE_CHECK_GE(
+      deliver_at, send_time + lookahead_,
+      "cross-shard causality violation: message would arrive sooner than "
+      "send time + lookahead");
+  mailbox(src, dst).push(epoch_, Message{send_time, deliver_at, std::move(fn)});
+}
+
+void ShardedEnv::drain_inbox(std::uint32_t dst) {
+  const std::uint64_t prev = epoch_ + 1;  // parity of epoch_ - 1
+  for (std::uint32_t src = 0; src < shards_.size(); ++src) {
+    std::vector<Message>& buf = mailbox(src, dst).side(prev);
+    for (Message& m : buf) {
+      // Receiver-side half of the causality audit.
+      NETSTORE_CHECK_GE(m.deliver_at, m.send_time + lookahead_,
+                        "cross-shard causality violation at drain");
+      shards_[dst]->schedule_at(m.deliver_at, std::move(m.fn));
+    }
+    buf.clear();
+  }
+}
+
+bool ShardedEnv::step_epoch_control() {
+  std::uint64_t posted = 0;
+  for (SpscMailbox<Message>& mb : mailboxes_) posted += mb.side(epoch_).size();
+  posted_total_ += posted;
+  epochs_++;
+
+  Time min_next = kIdle;
+  for (const Time t : next_work_) min_next = std::min(min_next, t);
+  if (min_next == kIdle && posted == 0) {
+    stop_ = true;
+    return true;
+  }
+  // H_{k+1} = max(H_k + L, T_next): advance one lookahead, or jump a
+  // provably idle gap (see the proof sketch in the header).
+  Time next = horizon_ + lookahead_;
+  if (min_next != kIdle && min_next > next) next = min_next;
+  horizon_ = next;
+  epoch_++;
+  return false;
+}
+
+void ShardedEnv::run_epochs(const ShardBody& body) {
+  const auto n = static_cast<std::uint32_t>(shards_.size());
+  for (SpscMailbox<Message>& mb : mailboxes_) {
+    NETSTORE_CHECK(mb.both_empty(), "run_epochs: stale cross-shard messages");
+  }
+  stop_ = false;
+  std::fill(next_work_.begin(), next_work_.end(), kIdle);
+  Time start = shards_[0]->now();
+  for (Env* e : shards_) start = std::max(start, e->now());
+  horizon_ = start + lookahead_;
+
+  if (n == 1) {
+    for (;;) {
+      drain_inbox(0);
+      next_work_[0] = body(0, horizon_);
+      if (step_epoch_control()) return;
+    }
+  }
+
+  // One reactor thread per shard.  The barrier's completion step runs the
+  // epoch control with every reactor parked, which is what makes the
+  // plain (non-atomic) epoch state race-free: each write is separated
+  // from every cross-thread read by the barrier.
+  std::barrier sync(n, [this]() noexcept { (void)step_epoch_control(); });
+  std::vector<std::thread> reactors;
+  reactors.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    reactors.emplace_back([this, s, &body, &sync] {
+      for (;;) {
+        drain_inbox(s);
+        next_work_[s] = body(s, horizon_);
+        sync.arrive_and_wait();
+        if (stop_) return;
+      }
+    });
+  }
+  for (std::thread& t : reactors) t.join();
+}
+
+}  // namespace netstore::sim

@@ -43,10 +43,14 @@ Sampler::Summary Sampler::summary() const {
   Summary s;
   s.count = count();
   if (s.count == 0) return s;
-  s.mean = mean();
-  s.min = min();
-  s.max = max();
+  // The first percentile call (re)builds the sorted cache; min and max
+  // then fall out of its ends for free instead of two more O(n) scans of
+  // the unsorted samples (the values are identical — the cache is an
+  // exact copy).
   s.p50 = percentile(50);
+  s.min = sorted_.front();
+  s.max = sorted_.back();
+  s.mean = mean();
   s.p95 = percentile(95);
   s.p99 = percentile(99);
   s.p999 = percentile(99.9);
@@ -63,6 +67,17 @@ void Histogram::record(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
   total_++;
+}
+
+void Histogram::merge(const Histogram& other) {
+  // Bit-exact bound identity, not tolerance: merge partners are clones of
+  // one metric definition, so anything else is a wiring bug.
+  NETSTORE_CHECK(bounds_.size() == other.bounds_.size() &&
+                     std::equal(bounds_.begin(), bounds_.end(),
+                                other.bounds_.begin()),
+                 "Histogram::merge: bucket bounds differ");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
 }
 
 void Histogram::reset() {

@@ -43,6 +43,19 @@ class Sampler {
     samples_.push_back(v);
     sorted_valid_ = false;
   }
+
+  /// Appends every sample of `other`, preserving its recording order —
+  /// the shard-local → global folding step of a sharded drive (DESIGN.md
+  /// §17): merging shard samplers in shard order yields the same sample
+  /// sequence a sequential run would have recorded per shard.  One bulk
+  /// insert, one sort-cache invalidation — the next percentile()/
+  /// summary() re-sorts once, not per merged sample.
+  void merge(const Sampler& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_valid_ = false;
+  }
+
   void reset() {
     samples_.clear();
     sorted_.clear();
@@ -81,6 +94,11 @@ class Histogram {
 
   void record(double v);
   void reset();
+
+  /// Adds `other`'s bucket counts into this histogram.  Both histograms
+  /// must have identical bounds (NETSTORE_CHECK) — merging is only
+  /// meaningful between shard-local copies of the same metric.
+  void merge(const Histogram& other);
 
   [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }

@@ -1,0 +1,352 @@
+// ShardedEnv + sharded-fleet contracts (DESIGN.md §17).
+//
+// Pinned here, enforced again by CI byte-compares on bench exports:
+//   (a) shards=1 is byte-identical to the sequential Env: the same
+//       fig5-style op schedule driven directly and driven through a
+//       1-shard epoch loop ends with identical traffic, clock, and
+//       pending-event state.
+//   (b) a fixed shard count is byte-identical run to run — the thread
+//       schedule can reorder wall-clock execution but never what any
+//       shard observes.
+//   (c) the cross-shard causality audit dies on a message injected
+//       under the lookahead bound.
+//   (d) Fleet's sharded drive at shards=1 equals its sequential drive,
+//       digest-for-digest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/config.h"
+#include "core/fleet.h"
+#include "core/testbed.h"
+#include "obs/report.h"
+#include "sim/sharded_env.h"
+#include "sim/time.h"
+
+namespace netstore {
+namespace {
+
+using core::Checkpoint;
+using core::Fleet;
+using core::Protocol;
+using core::StatsSnapshot;
+using core::Testbed;
+using core::WorkloadConfig;
+using sim::ShardedEnv;
+
+std::string traffic_digest(Testbed& bed) {
+  const StatsSnapshot s = bed.snapshot();
+  std::ostringstream os;
+  os << "now=" << s.now << " msgs=" << s.messages << " bytes=" << s.bytes
+     << " raw=" << s.raw_messages << " c2s=" << s.c2s_messages << "/"
+     << s.c2s_bytes << " s2c=" << s.s2c_messages << "/" << s.s2c_bytes
+     << std::hexfloat << " scpu=" << s.server_cpu_busy
+     << " ccpu=" << s.client_cpu_busy << std::defaultfloat
+     << " end=" << bed.env().now() << " pending=" << bed.env().pending_events();
+  return os.str();
+}
+
+// Full observable digest of a finished fleet: every fleet.* metric via
+// the report JSON (fixed formatting) plus each shard world's traffic.
+std::string fleet_digest(Fleet& fleet) {
+  obs::Report report("sharded_env_test", "digest");
+  report.add_snapshot("fleet", fleet.world().metrics().snapshot());
+  std::ostringstream os;
+  os << report.json();
+  for (std::uint32_t s = 0; s < fleet.shard_count(); ++s) {
+    os << "\nshard" << s << " " << traffic_digest(fleet.shard_world(s));
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------
+// (a) shards=1 ≡ sequential Env on a fig5-style run.
+//
+// The schedule mixes gaps shorter than the lookahead (several ops per
+// epoch), longer than it (epoch-horizon skipping), and synchronous ops
+// whose completion overshoots the horizon — the three regimes the epoch
+// loop must not perturb.
+void fig5_style_op(Testbed& bed, vfs::Fd fd, std::uint32_t i) {
+  std::vector<std::uint8_t> buf((i % 3 + 1) * 4096, 0xab);
+  if (i % 4 == 0) {
+    ASSERT_TRUE(bed.vfs().read(fd, (i % 7) * 4096, buf).ok());
+  } else {
+    ASSERT_TRUE(bed.vfs().write(fd, (i % 5) * 4096, buf).ok());
+  }
+}
+
+std::vector<sim::Time> fig5_style_schedule(sim::Time start) {
+  std::vector<sim::Time> at;
+  sim::Time t = start;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    // 30 us (intra-epoch), 150 us (~RTT), or 40 ms (skippable gap).
+    t += i % 5 == 4 ? sim::milliseconds(40)
+                    : (i % 2 ? sim::microseconds(30) : sim::microseconds(150));
+    at.push_back(t);
+  }
+  return at;
+}
+
+TEST(ShardedEnvTest, OneShardIsByteIdenticalToSequentialEnv) {
+  for (const Protocol p : {Protocol::kNfsV3, Protocol::kIscsi}) {
+    core::TestbedConfig cfg;
+    cfg.system.invariant_audits = true;  // per-shard heap audits stay on
+    Testbed proto(p, cfg);
+    proto.quiesce();
+    Checkpoint cp(proto);
+
+    // Sequential reference: advance + op, straight line.
+    std::unique_ptr<Testbed> seq = cp.fork();
+    auto seq_fd = seq->vfs().creat("/fig5", 0644);
+    ASSERT_TRUE(seq_fd.ok());
+    seq->settle(sim::seconds(15));
+    seq->reset_counters();
+    const std::vector<sim::Time> schedule =
+        fig5_style_schedule(seq->env().now());
+    for (std::uint32_t i = 0; i < schedule.size(); ++i) {
+      if (seq->env().now() < schedule[i]) seq->env().advance_to(schedule[i]);
+      ASSERT_NO_FATAL_FAILURE(fig5_style_op(*seq, *seq_fd, i));
+    }
+
+    // Same schedule chunked by the 1-shard epoch loop.
+    std::unique_ptr<Testbed> epo = cp.fork();
+    auto epo_fd = epo->vfs().creat("/fig5", 0644);
+    ASSERT_TRUE(epo_fd.ok());
+    epo->settle(sim::seconds(15));
+    epo->reset_counters();
+    ShardedEnv senv({&epo->env()}, epo->link().min_rtt());
+    std::uint32_t next = 0;
+    senv.run_epochs([&](std::uint32_t shard, sim::Time horizon) -> sim::Time {
+      EXPECT_EQ(shard, 0u);
+      while (next < schedule.size() && schedule[next] <= horizon) {
+        if (epo->env().now() < schedule[next]) {
+          epo->env().advance_to(schedule[next]);
+        }
+        fig5_style_op(*epo, *epo_fd, next);
+        next++;
+      }
+      return next < schedule.size() ? schedule[next] : ShardedEnv::kIdle;
+    });
+    EXPECT_EQ(next, schedule.size());
+    EXPECT_GT(senv.epochs(), 0u);
+    EXPECT_EQ(senv.messages_posted(), 0u);
+
+    EXPECT_EQ(traffic_digest(*seq), traffic_digest(*epo))
+        << "1-shard epoch drive diverged from the sequential engine ("
+        << core::to_string(p) << ")";
+  }
+}
+
+// ---------------------------------------------------------------------
+// (b) fixed shard count => byte-identical journals run to run.
+//
+// A standalone 4-shard workload: every shard runs a self-rescheduling
+// ticker and rings its neighbour one lookahead ahead; each delivery is
+// journalled (shard, virtual time, tag).  Two runs must agree exactly —
+// on the journal, the clocks, and the epoch/message counts.
+struct Journal {
+  // One vector per shard: only the owning reactor writes it.
+  std::vector<std::vector<std::tuple<std::uint32_t, sim::Time, std::uint64_t>>>
+      per_shard;
+};
+
+std::uint64_t run_ring_workload(Journal& j, std::uint64_t& epochs,
+                                std::uint64_t& msgs) {
+  constexpr std::uint32_t kShards = 4;
+  const sim::Duration lookahead = sim::microseconds(200);
+  ShardedEnv senv(kShards, lookahead);
+  j.per_shard.assign(kShards, {});
+
+  // Seed: shard s posts to (s+1)%4 every tick until its budget is out.
+  std::vector<std::uint64_t> budget(kShards);
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    budget[s] = 40 + 7 * s;
+    senv.shard(s).schedule_after(sim::microseconds(10 + s), [] {});
+  }
+  std::vector<std::uint64_t> sent(kShards, 0);
+  senv.run_epochs([&](std::uint32_t s, sim::Time horizon) -> sim::Time {
+    sim::Env& env = senv.shard(s);
+    // Fire everything due this epoch (seed ticks + drained deliveries).
+    while (env.next_event_at() != sim::Env::kNoEvent &&
+           env.next_event_at() <= horizon) {
+      env.advance_to(env.next_event_at());
+    }
+    while (sent[s] < budget[s] &&
+           env.now() + sim::microseconds(35) <= horizon) {
+      env.advance(sim::microseconds(35));
+      const std::uint64_t tag = s * 1000 + sent[s];
+      const std::uint32_t dst = (s + 1) % kShards;
+      senv.post(s, dst, env.now() + lookahead, [&j, &senv, dst, tag] {
+        // Runs on dst's reactor at the delivery deadline.
+        j.per_shard[dst].emplace_back(dst, senv.shard(dst).now(), tag);
+      });
+      // Journal the send locally, too.
+      j.per_shard[s].emplace_back(s, env.now(), tag);
+      sent[s]++;
+    }
+    if (sent[s] < budget[s]) return env.now() + sim::microseconds(35);
+    return env.next_event_at() == sim::Env::kNoEvent ? ShardedEnv::kIdle
+                                                     : env.next_event_at();
+  });
+  epochs = senv.epochs();
+  msgs = senv.messages_posted();
+
+  std::uint64_t clock_mix = 0;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    senv.shard(s).drain();
+    clock_mix = clock_mix * 1000003 +
+                static_cast<std::uint64_t>(senv.shard(s).now());
+  }
+  return clock_mix;
+}
+
+TEST(ShardedEnvTest, FixedShardCountIsByteIdenticalRunToRun) {
+  Journal j1, j2;
+  std::uint64_t e1 = 0, m1 = 0, e2 = 0, m2 = 0;
+  const std::uint64_t c1 = run_ring_workload(j1, e1, m1);
+  const std::uint64_t c2 = run_ring_workload(j2, e2, m2);
+  EXPECT_EQ(j1.per_shard, j2.per_shard);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(m1, m2);
+  EXPECT_GT(m1, 0u);
+}
+
+// ---------------------------------------------------------------------
+// (c) causality audit: a message under the lookahead bound aborts.
+TEST(ShardedEnvDeathTest, CausalityAuditAbortsOnEarlyMessage) {
+  ShardedEnv senv(2, sim::microseconds(200));
+  senv.shard(0).advance_to(sim::milliseconds(1));
+  EXPECT_DEATH(
+      senv.post(0, 1, senv.shard(0).now() + sim::microseconds(199), [] {}),
+      "causality");
+}
+
+// Boundary: exactly now + lookahead is legal, and the message arrives.
+TEST(ShardedEnvTest, LookaheadBoundaryMessageIsAccepted) {
+  ShardedEnv senv(2, sim::microseconds(200));
+  bool delivered = false;  // written by shard 1's reactor, read after join
+  bool posted = false;     // touched only by shard 0's reactor
+  senv.run_epochs([&](std::uint32_t s, sim::Time horizon) -> sim::Time {
+    sim::Env& env = senv.shard(s);
+    while (env.next_event_at() != sim::Env::kNoEvent &&
+           env.next_event_at() <= horizon) {
+      env.advance_to(env.next_event_at());
+    }
+    if (s == 0 && !posted) {
+      posted = true;
+      senv.post(0, 1, env.now() + sim::microseconds(200),
+                [&delivered] { delivered = true; });
+    }
+    return env.next_event_at() == sim::Env::kNoEvent ? ShardedEnv::kIdle
+                                                     : env.next_event_at();
+  });
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(senv.messages_posted(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// (d) Fleet: sharded drive at shards=1 ≡ sequential drive.
+class ShardedFleetTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ShardedFleetTest, OneShardShardedDriveEqualsSequentialDrive) {
+  WorkloadConfig w;
+  w.clients = 24;
+  w.ops = 400;
+  w.seed = 99;
+
+  Testbed proto(GetParam());
+  proto.quiesce();
+  Checkpoint cp(proto);
+
+  Fleet sequential(cp.fork(), w);
+  sequential.run(Fleet::DriveMode::kSequential);
+
+  Fleet sharded(cp.fork(), w);
+  sharded.run(Fleet::DriveMode::kSharded);
+
+  EXPECT_EQ(fleet_digest(sequential), fleet_digest(sharded));
+}
+
+// A fixed shard count > 1 is byte-identical run to run: two completely
+// independent sharded fleets (own prototype, checkpoint, forks, reactor
+// threads) agree digest-for-digest, shard world by shard world.
+TEST_P(ShardedFleetTest, FixedShardCountFleetIsByteIdenticalRunToRun) {
+  WorkloadConfig w;
+  w.clients = 25;  // uneven split across 3 shards
+  w.ops = 500;
+  w.seed = 31;
+  w.shards = 3;
+  w.sharing_ratio = 0.6;
+  w.shared_write_fraction = 0.3;  // exercise cross-shard write broadcasts
+  w.arrival.ops_per_client_per_s = 50;
+
+  std::string digests[2];
+  std::uint64_t msgs[2] = {0, 0};
+  for (int r = 0; r < 2; ++r) {
+    Testbed proto(GetParam());
+    proto.quiesce();
+    Checkpoint cp(proto);
+    std::unique_ptr<Fleet> fleet = cp.fleet(w);
+    fleet->run();
+    digests[r] = fleet_digest(*fleet);
+    msgs[r] = fleet->cross_shard_messages();
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(msgs[0], msgs[1]);
+  if (GetParam() != Protocol::kIscsi) {
+    EXPECT_GT(msgs[0], 0u) << "NFS shared writes should cross shards";
+  } else {
+    EXPECT_EQ(msgs[0], 0u) << "iSCSI owns its LUN per shard — no coherence";
+  }
+}
+
+// Budget and aggregate accounting with idle reactors: more shards than
+// clients leaves trailing shards idle but the op budget intact.
+TEST_P(ShardedFleetTest, BudgetSplitsAcrossActiveShards) {
+  WorkloadConfig w;
+  w.clients = 2;
+  w.ops = 101;
+  w.shards = 4;
+  w.seed = 5;
+
+  Testbed proto(GetParam());
+  proto.quiesce();
+  Checkpoint cp(proto);
+  std::unique_ptr<Fleet> fleet = cp.fleet(w);
+  fleet->run();
+
+  EXPECT_EQ(fleet->ops_completed(), w.ops);
+  EXPECT_EQ(fleet->shard_count(), 4u);
+  EXPECT_GT(fleet->epochs(), 0u);
+  EXPECT_LE(fleet->active_clients(), w.clients);
+  EXPECT_TRUE(fleet->world().metrics().contains("fleet.epochs"));
+  EXPECT_TRUE(fleet->world().metrics().contains("fleet.shard3.ops"));
+
+  const obs::MetricsRegistry::Snapshot snap =
+      fleet->world().metrics().snapshot();
+  std::uint64_t per_shard_sum = 0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    per_shard_sum =
+        per_shard_sum +
+        snap.at("fleet.shard" + std::to_string(s) + ".ops").count;
+  }
+  EXPECT_EQ(per_shard_sum, w.ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ShardedFleetTest,
+                         ::testing::Values(Protocol::kNfsV3, Protocol::kIscsi),
+                         [](const ::testing::TestParamInfo<Protocol>& info) {
+                           return info.param == Protocol::kIscsi
+                                      ? std::string("Iscsi")
+                                      : std::string("NfsV3");
+                         });
+
+}  // namespace
+}  // namespace netstore

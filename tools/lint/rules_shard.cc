@@ -18,6 +18,16 @@
 //                          class is actually safe to share (internal
 //                          locking, immutable, storage-only), or make it
 //                          per-shard.
+//
+// Strict modules (sim, core): ShardedEnv made shards real threads, so the
+// grace period is over for the two rules above.  `shard_local` on a
+// global no longer defers the finding — the work-list it queued has been
+// consumed, and a still-annotated global is shared state TSan can race
+// on today.  A `shard_safe` singleton must also be const-clean: a
+// `mutable` member on a shared instance mutates under const from every
+// reactor at once, which contradicts the annotation.  The only remaining
+// escape in strict modules is an explicit per-line
+// `// netstore-lint: allow(<rule>)` suppression.
 //   shard-mutable-member   a `mutable` member writes under a const
 //                          surface — invisible shared-state mutation if
 //                          the object is ever visible to two shards.
@@ -35,6 +45,13 @@ bool has(const std::set<std::string>& annots, const char* word) {
   return annots.count(word) != 0;
 }
 
+// Modules whose code runs on shard reactor threads now that
+// sim::ShardedEnv exists: findings there are hard CI failures with no
+// annotation amnesty (see the header comment).
+bool strict_module(const std::string& module) {
+  return module == "sim" || module == "core";
+}
+
 }  // namespace
 
 void run_shard_rules(const SourceFile& f, const Index& idx,
@@ -47,10 +64,20 @@ void run_shard_rules(const SourceFile& f, const Index& idx,
     if (g.file != f.path || !g.in_src) continue;
     if (g.is_static) continue;  // fork-unsafe-state already owns statics
     if (g.is_thread_local) continue;
-    if (has(g.annotations, "shard_local")) continue;
+    if (has(g.annotations, "shard_local")) {
+      if (!strict_module(g.module)) continue;
+      out.push_back({f.path, g.line, 0, "shard-mutable-global",
+                     "'" + g.name + "': the 'shard_local' work-list "
+                         "annotation expired when shards became real "
+                         "threads; module '" + g.module + "' runs on "
+                         "reactor threads, so move this into per-shard "
+                         "storage (the world / ReactorState) or suppress "
+                         "with 'netstore-lint: allow(shard-mutable-global)'"});
+      continue;
+    }
     out.push_back({f.path, g.line, 0, "shard-mutable-global",
                    "mutable namespace-scope variable '" + g.name +
-                       "' is visible to every future shard; move it into "
+                       "' is visible to every shard; move it into "
                        "the world, make it thread_local, or annotate "
                        "'// netstore: shard_local' to queue it for "
                        "per-shard storage"});
@@ -64,6 +91,20 @@ void run_shard_rules(const SourceFile& f, const Index& idx,
                          "same object; annotate '// netstore: shard_safe "
                          "-- <why>' once access is synchronized or "
                          "immutable, or make the instance per-shard"});
+    } else if (c.singleton && strict_module(c.module)) {
+      // Strict modules audit the annotation itself: a shared instance
+      // with a `mutable` member mutates under const from every reactor,
+      // so the shard_safe claim cannot hold for that member.
+      for (const Member& m : c.members) {
+        if (!m.is_mutable) continue;
+        out.push_back({f.path, c.singleton_line, 0, "shard-unsafe-singleton",
+                       "'" + c.name + "::instance()' is annotated "
+                           "shard_safe but member '" + m.name + "' is "
+                           "mutable — a shared instance mutating under "
+                           "const races across reactors; drop the mutable "
+                           "or make the instance per-shard"});
+        break;
+      }
     }
     for (const Member& m : c.members) {
       if (!m.is_mutable) continue;

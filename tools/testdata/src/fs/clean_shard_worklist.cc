@@ -1,0 +1,14 @@
+// Fixture: the `shard_local` work-list annotation on a global still
+// defers shard-mutable-global in non-strict modules (anything outside
+// sim/core) — nothing here may be reported.  The strict-module
+// counterpart is src/sim/bad_shard_strict.cc, where the same shape is a
+// hard failure.
+#include <cstdint>
+
+namespace netstore::fsx {
+
+// Queued for per-shard storage; fs does not run on reactor threads yet.
+// netstore: shard_local -- moved into per-mount state when fs shards
+std::uint64_t g_lookup_cache_hits = 0;
+
+}  // namespace netstore::fsx
