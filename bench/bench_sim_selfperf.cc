@@ -31,6 +31,15 @@
 //                 steady-state data path must run off the frame free
 //                 list, so this is ~0 once caches are warm.
 //
+//   timer ops/sec  the cancellable-timer churn the wheel exists for
+//                 (DESIGN.md §18): arm N timers spread across the wheel
+//                 levels, cancel half by handle, fire the rest.  Run per
+//                 depth (10^2..10^6 pending) on both backends — the
+//                 hierarchical wheel (O(1) amortized per op) and the
+//                 NETSTORE_TIMER=heap 4-ary heap (O(log n) pushes plus
+//                 tombstone pops) — so the speedup is measured, not
+//                 asserted.  The CI gate pins the 10^5-pending point.
+//
 //   shard speedup  (--shards N) the sharded parallel drive (DESIGN.md
 //                 §17): an NFSv3 fleet of --shard-clients flyweights
 //                 driven sequentially, then again across {1, 2, 4, ...,
@@ -42,6 +51,7 @@
 //                      [--shards N] [--shard-clients N] [--shard-ops N]
 //                      [--min-events-per-sec X] [--min-sweep-speedup X]
 //                      [--min-fork-speedup X] [--min-shard-speedup X]
+//                      [--min-timer-ops-per-sec X] [--min-timer-speedup X]
 //                      [--max-allocs-per-syscall X]
 //
 // The --min-*/--max-* flags make the binary a CI gate: exit 1 if any
@@ -65,6 +75,7 @@
 #include "core/testbed.h"
 #include "obs/report.h"
 #include "sim/env.h"
+#include "sim/rng.h"
 #include "sim/task.h"
 #include "workloads/microbench.h"
 
@@ -157,6 +168,105 @@ double events_per_sec(std::uint64_t total_events, int chains) {
   env.drain();
   const double dt = seconds_since(t0);
   return static_cast<double>(total_events + chains) / dt;
+}
+
+// --- timer ops/sec (hierarchical wheel vs 4-ary heap, DESIGN.md §18) -----
+//
+// The depth question the wheel answers: how fast are near-term
+// schedule/cancel/fire operations while a large *standing set* of
+// pending timers sits underneath — a million fleet arrivals, thousands
+// of armed retransmission timers.  Per depth: arm `pending` far-future
+// timers (untimed), then run a timed churn of short-deadline timers over
+// them — arm, cancel half by handle, fire the rest by advancing.  On the
+// wheel the churn lives in the lowest levels and never touches the
+// standing set (O(1) per op regardless of depth); the heap pays
+// O(log depth) to sift every push through the standing set and carries
+// every cancellation as a tombstone to its pop.
+struct TimerPoint {
+  std::uint64_t pending = 0;
+  double wheel_ops_per_sec = 0.0;
+  double heap_ops_per_sec = 0.0;
+  [[nodiscard]] double speedup() const {
+    return heap_ops_per_sec > 0 ? wheel_ops_per_sec / heap_ops_per_sec : 0.0;
+  }
+};
+
+// One churn pass: batches of near-term timers (the RPC pattern: every
+// one is armed, half are cancelled by the "reply", half fire).  Returns
+// ops performed; each armed timer counts twice (arm + resolution).
+std::uint64_t timer_churn(netstore::sim::Env& env, std::uint64_t churn_ops,
+                          std::uint64_t& sink) {
+  constexpr std::uint64_t kBatch = 256;
+  constexpr std::uint64_t kWindow = 64;  // ns per batch: wheel level 0
+  std::vector<netstore::sim::TimerHandle> handles(kBatch);
+  std::uint64_t ops = 0;
+  while (ops < churn_ops) {
+    const netstore::sim::Time base = env.now();
+    for (std::uint64_t b = 0; b < kBatch; ++b) {
+      const auto at = static_cast<netstore::sim::Time>(
+          base + 1 + netstore::sim::mix64(ops + b) % kWindow);
+      handles[b] = env.arm_timer_at(at, [&sink, b] { sink += b; });
+    }
+    for (std::uint64_t b = 0; b < kBatch; b += 2) {
+      if (!env.cancel_timer(handles[b])) std::abort();
+    }
+    env.advance_to(base + kWindow);  // fires the surviving half
+    ops += 2 * kBatch;  // each armed timer is resolved exactly once
+  }
+  return ops;
+}
+
+double timer_ops_per_sec(bool heap_backend, std::uint64_t pending,
+                         std::uint64_t churn_ops) {
+  if (heap_backend) {
+    ::setenv("NETSTORE_TIMER", "heap", 1);
+  } else {
+    ::unsetenv("NETSTORE_TIMER");
+  }
+  netstore::sim::Env env;
+  ::unsetenv("NETSTORE_TIMER");  // Env read it in its constructor
+  if (env.uses_wheel() == heap_backend) std::abort();
+
+  // Standing set: deadlines spread far beyond the churn window, so none
+  // fires during the measurement (untimed — depth is the variable here,
+  // not the cost of building it).
+  std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < pending; ++i) {
+    const auto at = static_cast<netstore::sim::Time>(
+        (std::uint64_t{1} << 50) + netstore::sim::mix64(i) % (1 << 30));
+    (void)env.arm_timer_at(at, [&sink, i] { sink += i; });
+  }
+
+  // Warm-up (untimed): faults in the handle table and bucket vectors and
+  // lets the CPU leave its idle frequency before the timed pass.
+  (void)timer_churn(env, churn_ops / 4, sink);
+
+  const auto t0 = Clock::now();
+  const std::uint64_t ops = timer_churn(env, churn_ops, sink);
+  const double dt = seconds_since(t0);
+  if (env.pending_events() != pending) std::abort();  // standing set intact
+  return static_cast<double>(ops) / dt;
+}
+
+std::vector<TimerPoint> timer_scaling() {
+  constexpr std::uint64_t kChurnOps = 400'000;
+  std::vector<TimerPoint> points;
+  for (std::uint64_t pending : {std::uint64_t{100}, std::uint64_t{1'000},
+                                std::uint64_t{10'000}, std::uint64_t{100'000},
+                                std::uint64_t{1'000'000}}) {
+    TimerPoint pt;
+    pt.pending = pending;
+    // Best of two interleaved reps per backend: a single rep is at the
+    // mercy of frequency scaling and whatever else shares the machine.
+    for (int rep = 0; rep < 2; ++rep) {
+      pt.wheel_ops_per_sec = std::max(
+          pt.wheel_ops_per_sec, timer_ops_per_sec(false, pending, kChurnOps));
+      pt.heap_ops_per_sec = std::max(
+          pt.heap_ops_per_sec, timer_ops_per_sec(true, pending, kChurnOps));
+    }
+    points.push_back(pt);
+  }
+  return points;
 }
 
 // --- syscalls/sec --------------------------------------------------------
@@ -404,6 +514,7 @@ int usage(const char* argv0) {
                "[--shards N] [--shard-clients N] [--shard-ops N] "
                "[--min-events-per-sec X] [--min-sweep-speedup X] "
                "[--min-fork-speedup X] [--min-shard-speedup X] "
+               "[--min-timer-ops-per-sec X] [--min-timer-speedup X] "
                "[--max-allocs-per-syscall X]\n",
                argv0);
   return 2;
@@ -429,7 +540,12 @@ int main(int argc, char** argv) {
   double min_sweep_speedup = 0.0;
   double min_fork_speedup = 0.0;
   double min_shard_speedup = 0.0;
+  double min_timer_ops_per_sec = 0.0;
+  double min_timer_speedup = 0.0;
   double max_allocs_per_syscall = -1.0;
+  // The depth the --min-timer-* gates pin: deep enough that the heap's
+  // O(log n) and tombstone churn bite, shallow enough to stay cheap.
+  constexpr std::uint64_t kGatedTimerDepth = 100'000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -457,6 +573,10 @@ int main(int argc, char** argv) {
       min_fork_speedup = std::strtod(argv[++i], nullptr);
     } else if (arg == "--min-shard-speedup" && has_value) {
       min_shard_speedup = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--min-timer-ops-per-sec" && has_value) {
+      min_timer_ops_per_sec = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--min-timer-speedup" && has_value) {
+      min_timer_speedup = std::strtod(argv[++i], nullptr);
     } else if (arg == "--max-allocs-per-syscall" && has_value) {
       max_allocs_per_syscall = std::strtod(argv[++i], nullptr);
     } else {
@@ -477,6 +597,8 @@ int main(int argc, char** argv) {
 
   const double legacy = events_per_sec<LegacyEnv>(n_events, kChains);
   const double speedup = legacy > 0 ? current / legacy : 0.0;
+
+  const std::vector<TimerPoint> timer_points = timer_scaling();
 
   const SyscallPerf sys_iscsi =
       syscalls_per_sec(netstore::core::Protocol::kIscsi, n_syscalls);
@@ -507,6 +629,18 @@ int main(int argc, char** argv) {
   std::printf("%-24s %16.2f\n", "events speedup", speedup);
   std::printf("%-24s %16.0f\n", "syscalls (iSCSI warm)", sys_iscsi.ops_per_sec);
   std::printf("%-24s %16.0f\n", "syscalls (NFSv3 warm)", sys_nfsv3.ops_per_sec);
+  double gated_timer_ops = 0.0;
+  double gated_timer_x = 0.0;
+  for (const TimerPoint& pt : timer_points) {
+    if (pt.pending == kGatedTimerDepth) {
+      gated_timer_ops = pt.wheel_ops_per_sec;
+      gated_timer_x = pt.speedup();
+    }
+    std::printf("timers %8llu pending: wheel %12.0f ops/s, heap %12.0f "
+                "ops/s, speedup %.2fx\n",
+                static_cast<unsigned long long>(pt.pending),
+                pt.wheel_ops_per_sec, pt.heap_ops_per_sec, pt.speedup());
+  }
   std::printf("task inline/heap constructions: %llu / %llu\n",
               static_cast<unsigned long long>(inline_delta),
               static_cast<unsigned long long>(heap_delta));
@@ -553,6 +687,13 @@ int main(int argc, char** argv) {
     s.row({"inline_constructions", inline_delta});
     s.row({"heap_constructions", heap_delta});
     s.row({"events_speedup_x", speedup});
+    auto& tm = report.table(
+        "timer_scaling",
+        {"pending", "wheel_ops_per_sec", "heap_ops_per_sec", "speedup_x"});
+    for (const TimerPoint& pt : timer_points) {
+      tm.row({pt.pending, pt.wheel_ops_per_sec, pt.heap_ops_per_sec,
+              pt.speedup()});
+    }
     auto& sw = report.table("checkpoint_sweep", {"metric", "value"});
     sw.row({"points", static_cast<std::uint64_t>(sweep.points)});
     sw.row({"scratch_ms", sweep.scratch_ms});
@@ -617,6 +758,24 @@ int main(int argc, char** argv) {
                    gated_shard_x, shards, min_shard_speedup);
       return 1;
     }
+  }
+  if (min_timer_ops_per_sec > 0 && gated_timer_ops < min_timer_ops_per_sec) {
+    std::fprintf(stderr,
+                 "FAIL: timer ops/sec %.0f at %llu pending below floor "
+                 "%.0f\n",
+                 gated_timer_ops,
+                 static_cast<unsigned long long>(kGatedTimerDepth),
+                 min_timer_ops_per_sec);
+    return 1;
+  }
+  if (min_timer_speedup > 0 && gated_timer_x < min_timer_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: wheel-vs-heap timer speedup %.2fx at %llu pending "
+                 "below floor %.2fx\n",
+                 gated_timer_x,
+                 static_cast<unsigned long long>(kGatedTimerDepth),
+                 min_timer_speedup);
+    return 1;
   }
   if (max_allocs_per_syscall >= 0) {
     const double worst =

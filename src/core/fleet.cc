@@ -125,7 +125,7 @@ void Fleet::setup() {
     Shard& sh = shards_[g % S];
     Client& cl = sh.clients[g / S];
     cl.rng.reseed(sim::mix64(workload_.seed ^ sim::mix64(g + 1)));
-    sh.arrivals.emplace(start + think(cl), g);
+    sh.arrivals.push(start + think(cl), g, {});
   }
 
   if (world().is_nfs()) {
@@ -231,10 +231,14 @@ sim::Time Fleet::drive_shard(std::uint32_t s, sim::Time horizon) {
   obs::Tracer& tracer = sh.world->tracer();
   const auto S = static_cast<std::uint64_t>(shards_.size());
 
+  // next_at() is exact without cascading; gating the loop on it means an
+  // epoch that stops short of the next arrival leaves the wheel untouched
+  // instead of redistributing its future buckets on every horizon probe.
   while (sh.done < sh.budget && !sh.arrivals.empty() &&
-         sh.arrivals.top().first <= horizon) {
-    const auto [arrival, g] = sh.arrivals.top();
-    sh.arrivals.pop();
+         sh.arrivals.next_at() <= horizon) {
+    const ArrivalQueue::Entry head = sh.arrivals.pop();
+    const sim::Time arrival = head.at;
+    const std::uint64_t g = head.key;
     Client& cl = sh.clients[g / S];
 
     // Open-loop queueing: an arrival in the future means this reactor is
@@ -262,13 +266,15 @@ sim::Time Fleet::drive_shard(std::uint32_t s, sim::Time horizon) {
 
     // Renewal on the *arrival* time, not completion: offered load is
     // independent of how slow the server was.
-    sh.arrivals.emplace(arrival + think(cl), g);
+    sh.arrivals.push(arrival + think(cl), g, {});
   }
 
   if (sh.done >= sh.budget || sh.arrivals.empty()) {
     return sim::ShardedEnv::kIdle;
   }
-  return sh.arrivals.top().first;
+  // next_at() is exact (cached bucket minima), which the epoch-horizon
+  // skipping contract requires (sharded_env.h).
+  return sh.arrivals.next_at();
 }
 
 void Fleet::assign_budgets() {

@@ -51,7 +51,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <string>
 #include <utility>
 #include <vector>
@@ -60,6 +59,7 @@
 #include "core/testbed.h"
 #include "sim/rng.h"
 #include "sim/sharded_env.h"
+#include "sim/timer_wheel.h"
 
 namespace netstore::core {
 
@@ -132,9 +132,14 @@ class Fleet {
     std::uint32_t private_files = 0;
   };
 
-  // Min-heap entry: (arrival time, global client id); pair comparison
-  // gives the deterministic id tie-break.
-  using Arrival = std::pair<sim::Time, std::uint64_t>;
+  /// Per-shard arrival queue: the same O(1) hierarchical wheel the Env
+  /// schedules on (DESIGN.md §18), ordered by (arrival time, global
+  /// client id).  Ids are unique among pending arrivals (one per client),
+  /// so this is exactly the total order the old
+  /// std::priority_queue<pair> gave, at O(1) per push/pop instead of
+  /// O(log clients).  Payload-free: the wheel key IS the client id.
+  struct NoPayload {};
+  using ArrivalQueue = sim::TimerWheel<NoPayload>;
 
   /// One reactor's whole state: its world (a complete server-core stack),
   /// the clients pinned to it, their arrival queue, the shard-local view
@@ -144,8 +149,7 @@ class Fleet {
   struct Shard {
     std::unique_ptr<Testbed> world;
     std::vector<Client> clients;  // local index = global id / shard_count
-    std::priority_queue<Arrival, std::vector<Arrival>, std::greater<Arrival>>
-        arrivals;
+    ArrivalQueue arrivals;
 
     // NFS coherence state, empty on iSCSI worlds: validated[c*S + d] is
     // the last time local client c validated shared object d (-1 =

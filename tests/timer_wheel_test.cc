@@ -1,0 +1,363 @@
+// Timing-wheel scheduler tests (DESIGN.md §18).
+//
+// The contract under test: the hierarchical timing wheel behind sim::Env
+// is observably identical to the 4-ary heap it replaced.  "Observably
+// identical" is pinned four ways:
+//   (a) a full protocol run (all four protocols) digests byte-identically
+//     under NETSTORE_TIMER=heap and under the wheel — the fork_test-style
+//     digest covers every StatsSnapshot field plus the backend-independent
+//     sim.timer.* counters (cascades excluded: it is wheel-only work);
+//   (b) fixed-seed fleet runs are byte-identical run to run at shards 1
+//     and 4 with the wheel driving both the Env queues and the per-shard
+//     arrival process;
+//   (c) cancel/reschedule handle semantics match on both backends —
+//     stale handles, payload destruction without running, pending-event
+//     accounting, and the scheduled/fired/cancelled counter book;
+//   (d) cascade boundary cases: deadlines exactly on a level boundary,
+//     same-tick FIFO across a cascade, and past-deadline schedules all
+//     dispatch in (deadline, scheduling order) on both backends.
+// Plus the overflow guard: deadlines at/above Env::kNoEvent die under
+// NETSTORE_CHECK instead of silently wrapping into the past.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/config.h"
+#include "core/fleet.h"
+#include "core/testbed.h"
+#include "obs/report.h"
+#include "sim/env.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace netstore {
+namespace {
+
+using core::Checkpoint;
+using core::Fleet;
+using core::Protocol;
+using core::StatsSnapshot;
+using core::Testbed;
+using core::WorkloadConfig;
+
+constexpr Protocol kAllProtocols[] = {Protocol::kNfsV2, Protocol::kNfsV3,
+                                      Protocol::kNfsV4, Protocol::kIscsi};
+
+// Scoped backend selection.  Env reads NETSTORE_TIMER per construction,
+// so flipping the variable between Testbed builds in one process is the
+// supported way to compare backends (the CI byte-compare does the same
+// across processes).
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(const char* value) {
+    if (value == nullptr) {
+      ::unsetenv("NETSTORE_TIMER");
+    } else {
+      ::setenv("NETSTORE_TIMER", value, 1);
+    }
+  }
+  ~ScopedBackend() { ::unsetenv("NETSTORE_TIMER"); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+};
+
+// Deterministic mixed protocol run: metadata, sequential and re-read I/O,
+// fsync (journal daemon timers), and enough advance to fire flusher
+// events.  Ends quiesced so the digest is a complete cut.
+void drive_protocol(Testbed& bed, std::uint64_t seed) {
+  vfs::Vfs& v = bed.vfs();
+  sim::Rng rng(seed);
+  ASSERT_TRUE(v.mkdir("/t", 0755));
+  std::vector<std::uint8_t> data(16 * 1024);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  std::vector<std::uint8_t> sink(data.size());
+  for (int f = 0; f < 6; ++f) {
+    const std::string path = "/t/f" + std::to_string(f);
+    auto fd = v.creat(path, 0644);
+    ASSERT_TRUE(fd);
+    for (int blk = 0; blk < 8; ++blk) {
+      ASSERT_TRUE(v.write(*fd, static_cast<std::uint64_t>(blk) * data.size(),
+                          data));
+    }
+    if (f % 2 == 0) ASSERT_TRUE(v.fsync(*fd));
+    ASSERT_TRUE(v.read(*fd, rng.uniform(8) * data.size(), sink));
+    ASSERT_TRUE(v.close(*fd));
+    ASSERT_TRUE(v.stat(path));
+  }
+  ASSERT_TRUE(v.readdir("/t"));
+  bed.env().advance(sim::seconds(40));  // sweep past the daemon deadlines
+  bed.quiesce();
+}
+
+// Backend-comparable digest: traffic snapshot plus the sim.timer.*
+// counters that must agree across backends.  cascades is deliberately
+// excluded — overflow redistribution is wheel-only bookkeeping.
+std::string digest(Testbed& bed) {
+  const StatsSnapshot s = bed.snapshot();
+  const sim::TimerStats& t = bed.env().timer_stats();
+  std::ostringstream os;
+  os << "now=" << s.now << " msgs=" << s.messages << " bytes=" << s.bytes
+     << " raw=" << s.raw_messages << " retrans=" << s.retransmissions
+     << " c2s=" << s.c2s_messages << "/" << s.c2s_bytes
+     << " s2c=" << s.s2c_messages << "/" << s.s2c_bytes << std::hexfloat
+     << " scpu=" << s.server_cpu_busy << " ccpu=" << s.client_cpu_busy
+     << " chit=" << s.client_cache_hit_ratio
+     << " shit=" << s.server_cache_hit_ratio << std::defaultfloat
+     << " sched=" << t.scheduled.value() << " fired=" << t.fired.value()
+     << " cancelled=" << t.cancelled.value() << " end=" << bed.env().now();
+  return os.str();
+}
+
+class BackendIdentityTest : public ::testing::TestWithParam<Protocol> {};
+
+// (a) The whole stack, per protocol: wheel digest == heap digest.
+TEST_P(BackendIdentityTest, WheelRunEqualsHeapRun) {
+  std::string got[2];
+  const char* backends[2] = {nullptr, "heap"};
+  for (int i = 0; i < 2; ++i) {
+    ScopedBackend backend(backends[i]);
+    Testbed bed(GetParam());
+    ASSERT_EQ(bed.env().uses_wheel(), backends[i] == nullptr);
+    ASSERT_NO_FATAL_FAILURE(drive_protocol(bed, 7));
+    got[i] = digest(bed);
+  }
+  EXPECT_EQ(got[0], got[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, BackendIdentityTest,
+                         ::testing::ValuesIn(kAllProtocols));
+
+// (b) Fleet determinism on the wheel: the arrival process and all Env
+// queues run on wheels; two independent runs at a fixed seed must agree
+// byte for byte, sequential and sharded alike.
+std::string fleet_digest(Fleet& fleet) {
+  obs::Report report("timer_wheel_test", "digest");
+  report.add_snapshot("fleet", fleet.world().metrics().snapshot());
+  std::ostringstream os;
+  os << report.json() << "\nend=" << fleet.world().env().now();
+  return os.str();
+}
+
+class FleetWheelTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FleetWheelTest, FixedSeedFleetIsByteIdenticalRunToRun) {
+  WorkloadConfig w;
+  w.clients = 24;
+  w.ops = 400;
+  w.seed = 4242;
+  w.shards = GetParam();
+
+  std::string digests[2];
+  for (std::string& d : digests) {
+    Testbed proto(Protocol::kNfsV3);
+    proto.quiesce();
+    Checkpoint cp(proto);
+    std::unique_ptr<Fleet> fleet = cp.fleet(w);
+    fleet->run();
+    d = fleet_digest(*fleet);
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, FleetWheelTest, ::testing::Values(1u, 4u));
+
+// (c) Handle semantics, identical on both backends.
+class HandleTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HandleTest, CancelPreventsPayloadAndStalesHandle) {
+  ScopedBackend backend(GetParam());
+  sim::Env env;
+  int ran = 0;
+  sim::TimerHandle h = env.arm_timer_after(100, [&ran] { ++ran; });
+  ASSERT_TRUE(h.valid());
+  EXPECT_EQ(env.pending_events(), 1u);
+  EXPECT_TRUE(env.cancel_timer(h));
+  EXPECT_EQ(env.pending_events(), 0u);
+  EXPECT_FALSE(env.cancel_timer(h)) << "second cancel must see a stale handle";
+  env.advance(1000);
+  EXPECT_EQ(ran, 0) << "cancelled payload must never run";
+  EXPECT_EQ(env.timer_stats().scheduled.value(), 1u);
+  EXPECT_EQ(env.timer_stats().fired.value(), 0u);
+  EXPECT_EQ(env.timer_stats().cancelled.value(), 1u);
+}
+
+TEST_P(HandleTest, FiredTimerStalesHandle) {
+  ScopedBackend backend(GetParam());
+  sim::Env env;
+  int ran = 0;
+  sim::TimerHandle h = env.arm_timer_at(50, [&ran] { ++ran; });
+  env.advance_to(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(env.cancel_timer(h));
+  EXPECT_FALSE(env.reschedule_timer_at(h, 500).valid());
+  EXPECT_EQ(env.timer_stats().fired.value(), 1u);
+  EXPECT_EQ(env.timer_stats().cancelled.value(), 0u);
+}
+
+TEST_P(HandleTest, RescheduleMovesDeadlineAndInvalidatesOldHandle) {
+  ScopedBackend backend(GetParam());
+  sim::Env env;
+  std::vector<sim::Time> fired_at;
+  sim::TimerHandle h =
+      env.arm_timer_at(100, [&] { fired_at.push_back(env.now()); });
+  sim::TimerHandle moved = env.reschedule_timer_at(h, 300);
+  ASSERT_TRUE(moved.valid());
+  EXPECT_FALSE(env.cancel_timer(h)) << "old handle value must be stale";
+  EXPECT_EQ(env.pending_events(), 1u);
+
+  env.advance_to(200);
+  EXPECT_TRUE(fired_at.empty()) << "timer must not fire at the old deadline";
+  env.advance_to(400);
+  ASSERT_EQ(fired_at.size(), 1u);
+  EXPECT_EQ(fired_at[0], 300);
+  EXPECT_FALSE(env.cancel_timer(moved));
+  // One logical timer: armed once, moved once, fired once.
+  EXPECT_EQ(env.timer_stats().scheduled.value(), 2u);
+  EXPECT_EQ(env.timer_stats().fired.value(), 1u);
+  EXPECT_EQ(env.timer_stats().cancelled.value(), 0u);
+}
+
+TEST_P(HandleTest, RescheduleCanPullDeadlineEarlier) {
+  ScopedBackend backend(GetParam());
+  sim::Env env;
+  int ran = 0;
+  sim::TimerHandle h = env.arm_timer_at(10000, [&ran] { ++ran; });
+  h = env.reschedule_timer_at(h, 5);
+  ASSERT_TRUE(h.valid());
+  env.advance_to(5);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(env.pending_events(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, HandleTest,
+                         ::testing::Values(static_cast<const char*>(nullptr),
+                                           "heap"));
+
+// (d) Dispatch-order pinning across cascade boundaries.  Deadlines are
+// chosen to straddle wheel level boundaries (64, 64^2, 64^3 ticks),
+// land exactly ON boundaries, collide on one tick, and fall in the
+// past; the observed dispatch order must be the (deadline, scheduling
+// order) contract on both backends, verified against a reference built
+// by stable-sorting the schedule.
+std::vector<std::pair<sim::Time, int>> run_boundary_schedule(
+    const char* backend_value) {
+  ScopedBackend backend(backend_value);
+  sim::Env env;
+  // Each record is (raw scheduled deadline, schedule index) in dispatch
+  // order — raw, because the (deadline, seq) contract orders past-dated
+  // events by their original deadline even though they *run* at the next
+  // advance with the clock already ahead of them.
+  std::vector<std::pair<sim::Time, int>> fired;
+  int idx = 0;
+  auto at = [&](sim::Time t) {
+    const int id = idx++;
+    env.schedule_at(t, [&fired, t, id] { fired.emplace_back(t, id); });
+  };
+  // Warm the cursor off zero so "exactly on a boundary" is relative to a
+  // non-trivial wheel state.
+  env.advance_to(100);
+  const sim::Time base = env.now();
+  for (const sim::Time d :
+       {sim::Time{0}, sim::Time{1}, sim::Time{63}, sim::Time{64},
+        sim::Time{64}, sim::Time{65}, sim::Time{4095}, sim::Time{4096},
+        sim::Time{4097}, sim::Time{262143}, sim::Time{262144},
+        sim::Time{262145}, sim::Time{64}, sim::Time{4096}}) {
+    at(base + d);
+  }
+  at(base - 50);  // past deadline: runs at the next advance
+  at(base - 50);  // and FIFO with its same-deadline sibling
+  // Same-tick burst right on a level boundary: batched dispatch must
+  // keep scheduling order within the tick.
+  for (int i = 0; i < 8; ++i) at(base + 4096);
+  env.drain();
+  return fired;
+}
+
+TEST(CascadeBoundaryTest, DispatchOrderIsDeadlineThenFifoOnBothBackends) {
+  const auto wheel = run_boundary_schedule(nullptr);
+  const auto heap = run_boundary_schedule("heap");
+  EXPECT_EQ(wheel, heap);
+
+  // Reference order: stable sort by deadline, past deadlines clamped to
+  // the schedule-time clock (they run at the next advance, in order).
+  ASSERT_EQ(wheel.size(), 24u);
+  std::vector<std::pair<sim::Time, int>> expect = wheel;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first < b.first;
+                     return a.second < b.second;
+                   });
+  EXPECT_EQ(wheel, expect) << "dispatch must be (deadline, seq) ordered";
+}
+
+// Re-entrant scheduling during a same-tick batch: an event that schedules
+// another event for the *same instant* must see it run within the same
+// sweep, after every previously queued same-tick event.
+TEST(CascadeBoundaryTest, SameTickReentrantScheduleRunsInSeqOrder) {
+  for (const char* backend_value :
+       {static_cast<const char*>(nullptr), "heap"}) {
+    ScopedBackend backend(backend_value);
+    sim::Env env;
+    std::vector<int> order;
+    env.schedule_at(10, [&] {
+      order.push_back(0);
+      env.schedule_at(10, [&order] { order.push_back(3); });
+    });
+    env.schedule_at(10, [&order] { order.push_back(1); });
+    env.schedule_at(10, [&order] { order.push_back(2); });
+    env.advance_to(10);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(env.pending_events(), 0u);
+  }
+}
+
+// Far-future deadlines exercise the top overflow levels; they must still
+// round-trip exactly (no truncation on cascade).
+TEST(CascadeBoundaryTest, FarFutureDeadlineSurvivesCascadesExactly) {
+  sim::Env env;
+  const sim::Time far = sim::seconds(3600LL * 24 * 365) * 100;  // ~100 years
+  sim::Time fired = 0;
+  env.schedule_at(far, [&] { fired = env.now(); });
+  EXPECT_EQ(env.next_event_at(), far);
+  env.advance_to(far - 1);
+  EXPECT_EQ(fired, 0);
+  env.advance_to(far);
+  EXPECT_EQ(fired, far);
+  EXPECT_GT(env.timer_stats().cascades.value(), 0u)
+      << "a 100-year deadline must have cascaded down the levels";
+}
+
+// Overflow guard (NETSTORE_CHECK): deadlines at/above the kNoEvent
+// sentinel and schedule_after sums past the Time range must die loudly —
+// a silent wrap would file the event in the past and stall the run.
+using TimerOverflowDeathTest = ::testing::Test;
+
+TEST(TimerOverflowDeathTest, ScheduleAtSentinelDies) {
+  sim::Env env;
+  EXPECT_DEATH(env.schedule_at(sim::Env::kNoEvent, [] {}),
+               "deadline overflows sim::Time");
+}
+
+TEST(TimerOverflowDeathTest, ScheduleAfterOverflowDies) {
+  sim::Env env;
+  env.advance_to(sim::seconds(3600LL * 24 * 365));
+  EXPECT_DEATH(
+      env.schedule_after(std::numeric_limits<sim::Duration>::max(), [] {}),
+      "deadline overflows sim::Time");
+  EXPECT_DEATH(
+      (void)env.arm_timer_after(std::numeric_limits<sim::Duration>::max(),
+                                [] {}),
+      "deadline overflows sim::Time");
+}
+
+}  // namespace
+}  // namespace netstore

@@ -19,6 +19,9 @@ Checks, per file:
   * any snapshot whose label starts with "fleet": the fleet.* metric
     keys (ops counter, response/queue-delay/service samplers, per-client
     fairness sampler) present with consistent counts
+  * any snapshot exporting sim.timer.* (engine timer telemetry,
+    DESIGN.md section 18): all four counters present together, and every
+    timer resolved at most once (fired + cancelled <= scheduled)
 
 Exit status 0 iff every file passes.  Stdlib only.
 """
@@ -176,6 +179,42 @@ def check_fleet_snapshot(path, label, metrics):
     return True
 
 
+TIMER_KEYS = (
+    "sim.timer.scheduled",
+    "sim.timer.fired",
+    "sim.timer.cancelled",
+    "sim.timer.cascades",
+)
+
+
+def check_timer_metrics(path, label, metrics):
+    """sim::Env timer telemetry: all-or-nothing, every timer resolved once.
+
+    scheduled counts schedule_at/arm/reschedule, fired counts dispatches,
+    cancelled counts successful cancels; a timer is resolved by at most
+    one of fire/cancel, so fired + cancelled <= scheduled always (the
+    difference is timers still pending at snapshot time).  cascades is
+    wheel-backend refiling work, unbounded relative to the others.
+    """
+    ok = True
+    for key in TIMER_KEYS:
+        v = metrics.get(key)
+        if not (isinstance(v, dict) and v.get("kind") == "counter"):
+            ok = fail(path, f"snapshot {label!r}: missing counter {key!r}")
+    if not ok:
+        return False
+    scheduled = metrics["sim.timer.scheduled"]["value"]
+    fired = metrics["sim.timer.fired"]["value"]
+    cancelled = metrics["sim.timer.cancelled"]["value"]
+    if fired + cancelled > scheduled:
+        return fail(
+            path,
+            f"snapshot {label!r}: fired ({fired}) + cancelled ({cancelled}) "
+            f"exceed scheduled ({scheduled}) — a timer resolved twice",
+        )
+    return True
+
+
 def check_report(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -228,6 +267,8 @@ def check_report(path):
             ok = check_pool_snapshot(path, metrics) and ok
         if label.startswith("fleet"):
             ok = check_fleet_snapshot(path, label, metrics) and ok
+        if any(k in metrics for k in TIMER_KEYS):
+            ok = check_timer_metrics(path, label, metrics) and ok
 
     if ok:
         nrows = sum(len(t["rows"]) for t in r["tables"])

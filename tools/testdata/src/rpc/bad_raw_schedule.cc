@@ -1,0 +1,26 @@
+// Fixture: fire-and-forget scheduling in a protocol module (path says
+// src/rpc/) must trip raw-env-schedule.  A retransmission timer armed
+// this way cannot be cancelled when the reply lands — the callback WILL
+// run and has to no-op via a flag, state the timing wheel cannot
+// reclaim.  A mention of schedule_at in a comment like this one must
+// not be flagged.
+
+namespace netstore::rpc {
+
+struct Env {
+  void schedule_at(long at, void* fn);     // declaration: flagged too
+  void schedule_after(long after, void* fn);
+};
+
+struct Transport {
+  Env* env;
+
+  void send_with_timeout(long timeout) {
+    env->schedule_after(timeout, nullptr);  // flagged
+    env->schedule_at(2 * timeout, nullptr);  // flagged
+  }
+};
+
+void reschedule_at(Env* env);  // not flagged: subword of another identifier
+
+}  // namespace netstore::rpc

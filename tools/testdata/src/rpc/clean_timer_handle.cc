@@ -1,0 +1,39 @@
+// Fixture: the approved protocol-module timer idiom — arm through
+// Env::arm_timer_* and keep the sim::TimerHandle so the reply path can
+// cancel or reschedule.  Must produce no raw-env-schedule findings, and
+// the suppressed raw call must stay silent through the allow comment.
+
+namespace netstore::rpc {
+
+struct TimerHandle {
+  unsigned id;
+  unsigned gen;
+};
+
+struct Env {
+  TimerHandle arm_timer_after(long after, void* fn);
+  TimerHandle reschedule_timer_at(TimerHandle h, long at);
+  bool cancel_timer(TimerHandle h);
+  // netstore-lint: allow(raw-env-schedule) -- mock Env surface, not a call
+  void schedule_at(long at, void* fn);
+};
+
+struct Transport {
+  Env* env;
+
+  void exchange(long timeout, long reply) {
+    TimerHandle timer = env->arm_timer_after(timeout, nullptr);
+    if (reply > timeout) {
+      timer = env->reschedule_timer_at(timer, 2 * timeout);
+    }
+    env->cancel_timer(timer);
+  }
+
+  void fire_and_forget_completion(long at) {
+    // Completion callback by design: nothing cancels an arrived reply.
+    // netstore-lint: allow(raw-env-schedule) -- one-shot completion
+    env->schedule_at(at, nullptr);
+  }
+};
+
+}  // namespace netstore::rpc
