@@ -31,6 +31,19 @@
 //                 steady-state data path must run off the frame free
 //                 list, so this is ~0 once caches are warm.
 //
+//   copy scaling  charged copy bytes per warm syscall across I/O sizes
+//                 (4 KB..64 KB, iSCSI and NFSv3): with the zero-copy
+//                 plane on, every charged copy is a user-boundary
+//                 crossing, so below-boundary bytes/syscall is ~0 in the
+//                 warm steady state (DESIGN.md §19).
+//
+//   zerocopy speedup  NFSv3 64 KB cold-client reads (caches invalidated
+//                 per op, server page cache warm) run twice in-process:
+//                 NETSTORE_ZEROCOPY on (frames adopted across layers)
+//                 and off (the legacy copying twin), so the win from
+//                 moving references instead of bytes is measured, not
+//                 asserted.
+//
 //   timer ops/sec  the cancellable-timer churn the wheel exists for
 //                 (DESIGN.md §18): arm N timers spread across the wheel
 //                 levels, cancel half by handle, fire the rest.  Run per
@@ -49,10 +62,13 @@
 //
 //   bench_sim_selfperf [--events N] [--syscalls N] [--json PATH]
 //                      [--shards N] [--shard-clients N] [--shard-ops N]
+//                      [--zerocopy-ops N]
 //                      [--min-events-per-sec X] [--min-sweep-speedup X]
 //                      [--min-fork-speedup X] [--min-shard-speedup X]
 //                      [--min-timer-ops-per-sec X] [--min-timer-speedup X]
 //                      [--max-allocs-per-syscall X]
+//                      [--max-copied-bytes-per-syscall X]
+//                      [--min-zerocopy-speedup X]
 //
 // The --min-*/--max-* flags make the binary a CI gate: exit 1 if any
 // measured value lands on the wrong side of its floor/ceiling.
@@ -72,7 +88,9 @@
 #include "bench_common.h"
 #include "core/buffer_pool.h"
 #include "core/checkpoint.h"
+#include "core/iovec.h"
 #include "core/testbed.h"
+#include "nfs/client.h"
 #include "obs/report.h"
 #include "sim/env.h"
 #include "sim/rng.h"
@@ -312,6 +330,138 @@ SyscallPerf syscalls_per_sec(netstore::core::Protocol proto,
   return res;
 }
 
+// --- copy scaling (zero-copy data plane, DESIGN.md §19) ------------------
+
+struct CopyPoint {
+  netstore::core::Protocol proto;
+  std::uint32_t io_bytes = 0;
+  double ops_per_sec = 0.0;
+  // Charged bytes per warm read: the user-boundary copy_out plus any
+  // below-boundary staging the plane failed to eliminate.
+  double copied_per_syscall = 0.0;
+  // (bytes_copied - bytes_read - bytes_written) / ops: copies that are
+  // NOT user-boundary crossings.  ~0 in the warm steady state with the
+  // plane on — this is what --max-copied-bytes-per-syscall gates.
+  double below_boundary_per_syscall = 0.0;
+};
+
+CopyPoint copy_point(netstore::core::Protocol proto, std::uint32_t io_bytes,
+                     std::uint64_t ops) {
+  netstore::core::Testbed bed(proto);
+  constexpr std::uint32_t kFileBytes = 256 * 1024;
+
+  auto fd = bed.vfs().creat("/copy", 0644);
+  if (!fd.ok()) std::abort();
+  std::vector<std::uint8_t> buf(kFileBytes, 0x6b);
+  if (!bed.vfs().write(*fd, 0, buf).ok()) std::abort();
+  if (!bed.vfs().fsync(*fd).ok()) std::abort();
+
+  // Warm pass: fault the whole file into every cache layer so the timed
+  // loop is the steady state the gate is about.
+  std::vector<std::uint8_t> rd(io_bytes);
+  for (std::uint64_t off = 0; off < kFileBytes; off += io_bytes) {
+    if (!bed.vfs().read(*fd, off, rd).ok()) std::abort();
+  }
+
+  auto& pool = netstore::core::BufferPool::instance();
+  const netstore::core::BufferPool::CopyStats before = pool.copy_stats();
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const std::uint64_t off = (i % (kFileBytes / io_bytes)) * io_bytes;
+    if (!bed.vfs().read(*fd, off, rd).ok()) std::abort();
+  }
+  const double dt = seconds_since(t0);
+  const netstore::core::BufferPool::CopyStats after = pool.copy_stats();
+  (void)bed.vfs().close(*fd);
+
+  const auto copied = after.bytes_copied - before.bytes_copied;
+  const auto boundary = (after.bytes_read - before.bytes_read) +
+                        (after.bytes_written - before.bytes_written);
+  CopyPoint pt;
+  pt.proto = proto;
+  pt.io_bytes = io_bytes;
+  pt.ops_per_sec = static_cast<double>(ops) / dt;
+  pt.copied_per_syscall =
+      ops > 0 ? static_cast<double>(copied) / static_cast<double>(ops) : 0.0;
+  pt.below_boundary_per_syscall =
+      ops > 0 ? static_cast<double>(copied - boundary) /
+                    static_cast<double>(ops)
+              : 0.0;
+  return pt;
+}
+
+std::vector<CopyPoint> copy_scaling(std::uint64_t ops) {
+  std::vector<CopyPoint> points;
+  for (netstore::core::Protocol p :
+       {netstore::core::Protocol::kIscsi, netstore::core::Protocol::kNfsV3}) {
+    for (std::uint32_t io : {4u * 1024, 8u * 1024, 16u * 1024, 32u * 1024,
+                             64u * 1024}) {
+      points.push_back(copy_point(p, io, ops));
+    }
+  }
+  return points;
+}
+
+// --- zerocopy speedup (reference-passing vs the copying twin) ------------
+
+struct ZerocopyPerf {
+  double on_ops_per_sec = 0.0;   // NETSTORE_ZEROCOPY default: frames move
+  double off_ops_per_sec = 0.0;  // escape hatch: every crossing copies
+  [[nodiscard]] double speedup() const {
+    return off_ops_per_sec > 0 ? on_ops_per_sec / off_ops_per_sec : 0.0;
+  }
+};
+
+// One phase: 64 KB NFSv3 reads with the client caches dropped before
+// every op, so each read crosses the wire (8 RPCs at the v3 transfer
+// limit) while the server page cache stays warm.  That makes the timed
+// work exactly the data plane: server cache -> RPC reply -> client page
+// cache -> user buffer, per op.
+double zerocopy_phase(std::uint64_t ops) {
+  netstore::core::Testbed bed(netstore::core::Protocol::kNfsV3);
+  constexpr std::uint32_t kIoBytes = 64 * 1024;
+
+  auto fd = bed.vfs().creat("/zc", 0644);
+  if (!fd.ok()) std::abort();
+  std::vector<std::uint8_t> buf(kIoBytes, 0x7d);
+  if (!bed.vfs().write(*fd, 0, buf).ok()) std::abort();
+  if (!bed.vfs().fsync(*fd).ok()) std::abort();
+
+  std::vector<std::uint8_t> rd(kIoBytes);
+  bed.nfs_client().invalidate_caches();
+  (void)bed.vfs().read(*fd, 0, rd);  // warm the server page cache
+
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    bed.nfs_client().invalidate_caches();
+    if (!bed.vfs().read(*fd, 0, rd).ok()) std::abort();
+  }
+  const double dt = seconds_since(t0);
+  (void)bed.vfs().close(*fd);
+  return static_cast<double>(ops) / dt;
+}
+
+ZerocopyPerf zerocopy_speedup(std::uint64_t ops) {
+  ZerocopyPerf res;
+  auto& pool = netstore::core::BufferPool::instance();
+  // Best of two interleaved reps per mode (same rationale as the timer
+  // scaling: one rep is at the mercy of frequency scaling).
+  for (int rep = 0; rep < 2; ++rep) {
+    netstore::core::set_zerocopy(true);
+    res.on_ops_per_sec = std::max(res.on_ops_per_sec, zerocopy_phase(ops));
+    // The OFF twin stages through charged copies that are not
+    // user-boundary crossings, which would break the exported
+    // bytes_copied <= bytes_read + bytes_written invariant in the pool
+    // snapshot below; save the counters around the phase.
+    const netstore::core::BufferPool::CopyStats saved = pool.copy_stats();
+    netstore::core::set_zerocopy(false);
+    res.off_ops_per_sec = std::max(res.off_ops_per_sec, zerocopy_phase(ops));
+    netstore::core::set_zerocopy(true);
+    pool.set_copy_stats(saved);
+  }
+  return res;
+}
+
 // --- sweep speedup (warm-state checkpoint/fork, DESIGN.md §13) -----------
 
 // The warm state a sweep's points share: file-system aging plus a seeded
@@ -512,10 +662,13 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--events N] [--syscalls N] [--json PATH] "
                "[--shards N] [--shard-clients N] [--shard-ops N] "
+               "[--zerocopy-ops N] "
                "[--min-events-per-sec X] [--min-sweep-speedup X] "
                "[--min-fork-speedup X] [--min-shard-speedup X] "
                "[--min-timer-ops-per-sec X] [--min-timer-speedup X] "
-               "[--max-allocs-per-syscall X]\n",
+               "[--max-allocs-per-syscall X] "
+               "[--max-copied-bytes-per-syscall X] "
+               "[--min-zerocopy-speedup X]\n",
                argv0);
   return 2;
 }
@@ -543,6 +696,9 @@ int main(int argc, char** argv) {
   double min_timer_ops_per_sec = 0.0;
   double min_timer_speedup = 0.0;
   double max_allocs_per_syscall = -1.0;
+  double max_copied_bytes_per_syscall = -1.0;
+  double min_zerocopy_speedup = 0.0;
+  std::uint64_t zerocopy_ops = 2'000;
   // The depth the --min-timer-* gates pin: deep enough that the heap's
   // O(log n) and tombstone churn bite, shallow enough to stay cheap.
   constexpr std::uint64_t kGatedTimerDepth = 100'000;
@@ -579,6 +735,12 @@ int main(int argc, char** argv) {
       min_timer_speedup = std::strtod(argv[++i], nullptr);
     } else if (arg == "--max-allocs-per-syscall" && has_value) {
       max_allocs_per_syscall = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--max-copied-bytes-per-syscall" && has_value) {
+      max_copied_bytes_per_syscall = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--min-zerocopy-speedup" && has_value) {
+      min_zerocopy_speedup = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--zerocopy-ops" && has_value) {
+      zerocopy_ops = std::strtoull(argv[++i], nullptr, 10);
     } else {
       return usage(argv[0]);
     }
@@ -604,6 +766,9 @@ int main(int argc, char** argv) {
       syscalls_per_sec(netstore::core::Protocol::kIscsi, n_syscalls);
   const SyscallPerf sys_nfsv3 =
       syscalls_per_sec(netstore::core::Protocol::kNfsV3, n_syscalls);
+
+  const std::vector<CopyPoint> copy_points = copy_scaling(n_syscalls / 10);
+  const ZerocopyPerf zc = zerocopy_speedup(zerocopy_ops);
 
   const SweepResult sweep = sweep_speedup(
       {netstore::core::Protocol::kNfsV2, netstore::core::Protocol::kNfsV3,
@@ -646,6 +811,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(heap_delta));
   std::printf("pool allocs/syscall: iSCSI %.4f, NFSv3 %.4f\n",
               sys_iscsi.allocs_per_syscall, sys_nfsv3.allocs_per_syscall);
+  double worst_below_boundary = 0.0;
+  for (const CopyPoint& pt : copy_points) {
+    worst_below_boundary =
+        std::max(worst_below_boundary, pt.below_boundary_per_syscall);
+    std::printf("copies %-6s %5u B reads: %10.0f ops/s, %8.0f B "
+                "copied/syscall, %6.0f B below boundary\n",
+                netstore::core::to_string(pt.proto), pt.io_bytes,
+                pt.ops_per_sec, pt.copied_per_syscall,
+                pt.below_boundary_per_syscall);
+  }
+  std::printf("zerocopy (NFSv3 64 KB cold-client reads): on %.0f ops/s, "
+              "off %.0f ops/s, speedup %.2fx\n",
+              zc.on_ops_per_sec, zc.off_ops_per_sec, zc.speedup());
   std::printf("sweep (%d points): scratch %.0f ms, forked %.0f ms, "
               "speedup %.2fx\n",
               sweep.points, sweep.scratch_ms, sweep.forked_ms, sweep_x);
@@ -720,6 +898,19 @@ int main(int argc, char** argv) {
     auto& ap = report.table("pool_path", {"metric", "value"});
     ap.row({"allocs_per_syscall_iscsi", sys_iscsi.allocs_per_syscall});
     ap.row({"allocs_per_syscall_nfsv3", sys_nfsv3.allocs_per_syscall});
+    auto& cs = report.table(
+        "copy_scaling", {"protocol", "io_bytes", "ops_per_sec",
+                         "copied_bytes_per_syscall",
+                         "below_boundary_bytes_per_syscall"});
+    for (const CopyPoint& pt : copy_points) {
+      cs.row({netstore::core::to_string(pt.proto),
+              static_cast<std::uint64_t>(pt.io_bytes), pt.ops_per_sec,
+              pt.copied_per_syscall, pt.below_boundary_per_syscall});
+    }
+    auto& zt = report.table("zerocopy", {"metric", "value"});
+    zt.row({"on_ops_per_sec", zc.on_ops_per_sec});
+    zt.row({"off_ops_per_sec", zc.off_ops_per_sec});
+    zt.row({"zerocopy_speedup_x", zc.speedup()});
     // Pool telemetry rides along unconditionally here: this bench exists
     // to watch the simulator's own mechanics, and its output is not part
     // of any byte-identity comparison.
@@ -786,6 +977,20 @@ int main(int argc, char** argv) {
                    worst, max_allocs_per_syscall);
       return 1;
     }
+  }
+  if (max_copied_bytes_per_syscall >= 0 &&
+      worst_below_boundary > max_copied_bytes_per_syscall) {
+    std::fprintf(stderr,
+                 "FAIL: %.0f below-boundary copied bytes/syscall above "
+                 "ceiling %.0f\n",
+                 worst_below_boundary, max_copied_bytes_per_syscall);
+    return 1;
+  }
+  if (min_zerocopy_speedup > 0 && zc.speedup() < min_zerocopy_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: zerocopy speedup %.2fx below floor %.2fx\n",
+                 zc.speedup(), min_zerocopy_speedup);
+    return 1;
   }
   return 0;
 }

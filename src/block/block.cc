@@ -1,0 +1,22 @@
+#include "block/block.h"
+
+#include "core/buffer_pool.h"
+
+namespace netstore::block {
+
+// Out of line: block.h is included by core/buffer_pool.h, so the header
+// only forward-declares core::BufRef and anything that indexes or
+// dereferences one lives here.
+
+BlockSource::BlockSource(std::span<const core::BufRef> refs)
+    : refs_(refs.data()) {}
+
+const core::BufRef* BlockSource::ref(std::size_t i) const {
+  return refs_ == nullptr ? nullptr : refs_ + i;
+}
+
+BlockView BlockSource::ref_block(std::size_t i) const {
+  return refs_[i].view();
+}
+
+}  // namespace netstore::block

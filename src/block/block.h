@@ -9,6 +9,10 @@
 #include <cstdint>
 #include <span>
 
+namespace netstore::core {
+class BufRef;  // core/buffer_pool.h includes this header; declare, not include
+}  // namespace netstore::core
+
 namespace netstore::block {
 
 /// Size of one block in bytes.
@@ -41,18 +45,31 @@ class BlockSource {
   explicit BlockSource(std::span<const std::uint8_t> contig)
       : contig_(contig.data()) {}
   explicit BlockSource(FragSpan frags) : frags_(frags.data()) {}
+  /// Ref-shaped payload: one pooled frame per block.  The adoption seam
+  /// of the zero-copy plane — consumers that store blocks (Disk, the
+  /// write cache) take the handle via ref() and share the frame instead
+  /// of copying its bytes.
+  explicit BlockSource(std::span<const core::BufRef> refs);
 
   /// View of the i-th block of the payload.
   [[nodiscard]] BlockView block(std::size_t i) const {
     if (contig_ != nullptr) {
       return BlockView{contig_ + i * kBlockSize, kBlockSize};
     }
-    return frags_[i];
+    if (frags_ != nullptr) return frags_[i];
+    return ref_block(i);
   }
 
+  /// The i-th block as a pool handle, or nullptr when the payload is not
+  /// ref-shaped (callers fall back to block()).
+  [[nodiscard]] const core::BufRef* ref(std::size_t i) const;
+
  private:
+  [[nodiscard]] BlockView ref_block(std::size_t i) const;
+
   const std::uint8_t* contig_ = nullptr;
   const BlockView* frags_ = nullptr;
+  const core::BufRef* refs_ = nullptr;
 };
 
 }  // namespace netstore::block

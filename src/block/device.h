@@ -18,6 +18,7 @@
 
 #include "block/block.h"
 #include "core/buffer_pool.h"
+#include "core/iovec.h"
 #include "sim/time.h"
 
 namespace netstore::block {
@@ -50,9 +51,9 @@ class BlockDevice {
     read(lba, nblocks, buf);
     for (std::uint32_t i = 0; i < nblocks; ++i) {
       core::BufRef ref = core::BufferPool::instance().alloc();
-      std::memcpy(ref.mutable_data(),
-                  buf.data() + static_cast<std::size_t>(i) * kBlockSize,
-                  kBlockSize);
+      core::charged_copy(ref.mutable_data(),
+                         buf.data() + static_cast<std::size_t>(i) * kBlockSize,
+                         kBlockSize);
       out.push_back(std::move(ref));
     }
   }
@@ -69,9 +70,45 @@ class BlockDevice {
   virtual void write_gather(Lba lba, FragSpan frags, WriteMode mode) {
     std::vector<std::uint8_t> buf(frags.size() * kBlockSize);
     for (std::size_t i = 0; i < frags.size(); ++i) {
-      std::memcpy(buf.data() + i * kBlockSize, frags[i].data(), kBlockSize);
+      core::charged_copy(buf.data() + i * kBlockSize, frags[i].data(),
+                         kBlockSize);
     }
     write(lba, static_cast<std::uint32_t>(frags.size()), buf, mode);
+  }
+
+  /// Ref-shaped scatter-gather write: refs[i] lands on lba + i.  Same
+  /// timing and durability as write_gather(); devices whose backing
+  /// store holds pooled frames override it to adopt the handles (share
+  /// the frames) instead of copying payload bytes.  The default downgrades
+  /// to views, so any device is correct without an override.
+  virtual void write_gather_refs(Lba lba, std::span<const core::BufRef> refs,
+                                 WriteMode mode) {
+    std::vector<BlockView> frags;
+    frags.reserve(refs.size());
+    for (const core::BufRef& r : refs) frags.push_back(r.view());
+    write_gather(lba, frags, mode);
+  }
+
+  /// Ref-shaped prefetch: like prefetch(), but appends pooled handles to
+  /// `out` instead of filling a caller buffer, so read-ahead fills adopt
+  /// frames instead of copying.  Same logical-validity contract and
+  /// timing as prefetch(); nullopt when the device has no async path.
+  /// The default stages through prefetch() into fresh frames so devices
+  /// without a native ref path keep identical read-ahead behaviour.
+  virtual std::optional<sim::Time> prefetch_refs(
+      Lba lba, std::uint32_t nblocks, std::vector<core::BufRef>& out) {
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(nblocks) *
+                                  kBlockSize);
+    auto ready = prefetch(lba, nblocks, buf);
+    if (!ready) return std::nullopt;
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      core::BufRef ref = core::BufferPool::instance().alloc();
+      core::charged_copy(ref.mutable_data(),
+                         buf.data() + static_cast<std::size_t>(i) * kBlockSize,
+                         kBlockSize);
+      out.push_back(std::move(ref));
+    }
+    return ready;
   }
 
   /// Blocks until every previously issued write is durable.

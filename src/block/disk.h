@@ -56,6 +56,12 @@ class Disk {
   /// Stores `data` at `lba`.
   void write_data(Lba lba, BlockView data);
 
+  /// Adopts `data` at `lba`: shares the caller's frame instead of
+  /// copying its bytes — the zero-copy twin of write_data().  Storing
+  /// shares, never mutates, so the caller's handle stays valid and any
+  /// later write_data() un-shares first.
+  void write_ref(Lba lba, const core::BufRef& data);
+
   /// Schedules a media access starting no earlier than `start`; returns
   /// the completion time.  Contiguous-with-previous requests stream at the
   /// media rate; discontiguous requests pay seek + rotation.

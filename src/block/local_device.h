@@ -55,6 +55,12 @@ class LocalBlockDevice final : public BlockDevice {
     finish_write(array_.write_frags(env_.now(), lba, frags), mode);
   }
 
+  void write_gather_refs(Lba lba, std::span<const core::BufRef> refs,
+                         WriteMode mode) override {
+    // Zero-copy: the member disks adopt (share) the frames.
+    finish_write(array_.write_refs(env_.now(), lba, refs), mode);
+  }
+
   void flush() override {
     if (nvram_ack_ > 0) {
       charge_media(nvram_ack_);
@@ -68,6 +74,12 @@ class LocalBlockDevice final : public BlockDevice {
   std::optional<sim::Time> prefetch(Lba lba, std::uint32_t nblocks,
                                     std::span<std::uint8_t> out) override {
     return array_.read(env_.now(), lba, nblocks, out);
+  }
+
+  std::optional<sim::Time> prefetch_refs(
+      Lba lba, std::uint32_t nblocks,
+      std::vector<core::BufRef>& out) override {
+    return array_.read_refs(env_.now(), lba, nblocks, out);
   }
 
   /// Test hook: waits until the spindles are idle (full destage).

@@ -26,6 +26,8 @@ class MemBlockDevice final : public BlockDevice {
       if (it == store_.end()) {
         std::memset(dst, 0, kBlockSize);
       } else {
+        // Test-only media store serving a caller buffer (same boundary as
+        // Disk::read_data).  netstore-lint: allow(raw-datapath-memcpy)
         std::memcpy(dst, it->second.data(), kBlockSize);
       }
     }
@@ -38,6 +40,8 @@ class MemBlockDevice final : public BlockDevice {
       auto& slot = store_[lba + i];
       // Full overwrite: replace a shared frame instead of copying it.
       if (!slot || slot.shared()) slot = core::BufferPool::instance().alloc();
+      // Test-only media store of a caller buffer (same boundary as
+      // Disk::write_data).  netstore-lint: allow(raw-datapath-memcpy)
       std::memcpy(slot.mutable_data(),
                   data.data() + static_cast<std::size_t>(i) * kBlockSize,
                   kBlockSize);

@@ -88,6 +88,8 @@ void Raid5Array::reconstruct_block(const Mapping& m, MutBlockView out) const {
     disks_[d]->read_data(m.physical_lba, tmp);
     xor_into(acc, tmp);
   }
+  // Reconstruction scratch -> caller block: parity math, not a payload
+  // crossing.  netstore-lint: allow(raw-datapath-memcpy)
   std::memcpy(out.data(), acc.data(), kBlockSize);
 }
 
@@ -162,6 +164,12 @@ sim::Time Raid5Array::write_frags(sim::Time start, Lba lba, FragSpan frags) {
                     BlockSource(frags));
 }
 
+sim::Time Raid5Array::write_refs(sim::Time start, Lba lba,
+                                 std::span<const core::BufRef> refs) {
+  return write_impl(start, lba, static_cast<std::uint32_t>(refs.size()),
+                    BlockSource(refs));
+}
+
 sim::Time Raid5Array::write_impl(sim::Time start, Lba lba,
                                  std::uint32_t nblocks, BlockSource src) {
   NETSTORE_CHECK_LE(lba + nblocks, logical_blocks_);
@@ -189,7 +197,12 @@ sim::Time Raid5Array::write_impl(sim::Time start, Lba lba,
           const BlockView view = src.block(logical - lba);
           const Mapping m = map(logical);
           if (static_cast<int>(m.data_disk) != failed_disk_) {
-            disks_[m.data_disk]->write_data(m.physical_lba, view);
+            // Ref-shaped payloads are adopted (frame share); others copy.
+            if (const core::BufRef* r = src.ref(logical - lba)) {
+              disks_[m.data_disk]->write_ref(m.physical_lba, *r);
+            } else {
+              disks_[m.data_disk]->write_data(m.physical_lba, view);
+            }
           }
           xor_into(parity, view);
         }
@@ -246,7 +259,11 @@ sim::Time Raid5Array::write_impl(sim::Time start, Lba lba,
                                                     /*is_write=*/true));
     } else if (static_cast<int>(m.parity_disk) == failed_disk_) {
       // Parity spindle is gone: plain write to the data spindle.
-      disks_[m.data_disk]->write_data(m.physical_lba, new_data);
+      if (const core::BufRef* r = src.ref(i)) {
+        disks_[m.data_disk]->write_ref(m.physical_lba, *r);
+      } else {
+        disks_[m.data_disk]->write_data(m.physical_lba, new_data);
+      }
       done = std::max(done,
                       disks_[m.data_disk]->submit(controller(start, true),
                                                   m.physical_lba, 1,
@@ -257,7 +274,11 @@ sim::Time Raid5Array::write_impl(sim::Time start, Lba lba,
       // new_parity = old_parity ^ old_data ^ new_data
       xor_into(old_parity, old_data);
       xor_into(old_parity, new_data);
-      disks_[m.data_disk]->write_data(m.physical_lba, new_data);
+      if (const core::BufRef* r = src.ref(i)) {
+        disks_[m.data_disk]->write_ref(m.physical_lba, *r);
+      } else {
+        disks_[m.data_disk]->write_data(m.physical_lba, new_data);
+      }
       disks_[m.parity_disk]->write_data(m.physical_lba, old_parity);
       // Two accesses on each of the two spindles (read then write).
       // RMW is background destage work: both its reads and writes ride

@@ -62,6 +62,12 @@ class Raid5Array {
   /// payload shape is irrelevant to the model.
   sim::Time write_frags(sim::Time start, Lba lba, FragSpan frags);
 
+  /// Ref-shaped variant: refs[i] lands on lba + i, and each member disk
+  /// adopts (shares) the frame instead of copying its bytes.  Parity
+  /// math reads the frames through views; timing identical to write().
+  sim::Time write_refs(sim::Time start, Lba lba,
+                       std::span<const core::BufRef> refs);
+
   /// Marks a member disk failed (its contents become unreadable).
   void fail_disk(std::uint32_t index);
 

@@ -36,6 +36,13 @@ class TimedCache {
   sim::Time read(sim::Time start, Lba lba, std::uint32_t nblocks,
                  std::span<std::uint8_t> out);
 
+  /// Zero-copy variant of read(): appends one shared handle per block to
+  /// `out` — cache hits share the resident frame, misses adopt the
+  /// array's frames and share those.  Hit/miss accounting, LRU motion,
+  /// and timing identical to read().
+  sim::Time read_refs(sim::Time start, Lba lba, std::uint32_t nblocks,
+                      std::vector<core::BufRef>& out);
+
   /// Write-back write: caches the blocks and acknowledges immediately
   /// (memory-speed).  Crossing the dirty high-water mark kicks background
   /// write-back whose disk time is accounted but not waited on.
@@ -46,6 +53,11 @@ class TimedCache {
   /// as write(); lets the target consume reassembled PDU payloads without
   /// staging them into one contiguous buffer.
   sim::Time write_frags(sim::Time start, Lba lba, FragSpan frags);
+
+  /// Ref-shaped variant: the cache adopts (shares) the caller's frames
+  /// instead of copying their bytes.  Same semantics as write().
+  sim::Time write_refs(sim::Time start, Lba lba,
+                       std::span<const core::BufRef> refs);
 
   /// Makes everything durable: writes back all dirty blocks; returns the
   /// completion time of the last array write.

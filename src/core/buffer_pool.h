@@ -151,6 +151,58 @@ class BufferPool {
     return alloc_fallbacks_.load(std::memory_order_relaxed);
   }
 
+  // --- copy telemetry (the zero-copy data plane, DESIGN.md §19) -------
+  /// Payload memcpy calls charged through the sanctioned copy helpers
+  /// (core::copy_out / copy_in / charged_copy in core/iovec.h).
+  [[nodiscard]] std::uint64_t copies() const {
+    return copies_.load(std::memory_order_relaxed);
+  }
+  /// Bytes moved by those copies.  With zero-copy on, every charged copy
+  /// is a user-buffer boundary crossing, so bytes_copied ==
+  /// bytes_read + bytes_written exactly (check_report.py enforces <=).
+  [[nodiscard]] std::uint64_t bytes_copied() const {
+    return bytes_copied_.load(std::memory_order_relaxed);
+  }
+  /// Bytes handed to user read buffers at the VFS boundary.
+  [[nodiscard]] std::uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  /// Bytes accepted from user write buffers at the VFS boundary.
+  [[nodiscard]] std::uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
+  void note_copy(std::uint64_t n) {
+    copies_.fetch_add(1, std::memory_order_relaxed);
+    bytes_copied_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void note_user_read(std::uint64_t n) {
+    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void note_user_write(std::uint64_t n) {
+    bytes_written_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Save/restore for the copy counters, so a bench phase that runs with
+  /// NETSTORE_ZEROCOPY=off (whose legacy copies deliberately break the
+  /// bytes_copied <= bytes_read + bytes_written invariant) can leave the
+  /// process-wide telemetry as it found it.
+  struct CopyStats {
+    std::uint64_t copies = 0;
+    std::uint64_t bytes_copied = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+  };
+  [[nodiscard]] CopyStats copy_stats() const {
+    return {copies(), bytes_copied(), bytes_read(), bytes_written()};
+  }
+  void set_copy_stats(const CopyStats& s) {
+    copies_.store(s.copies, std::memory_order_relaxed);
+    bytes_copied_.store(s.bytes_copied, std::memory_order_relaxed);
+    bytes_read_.store(s.bytes_read, std::memory_order_relaxed);
+    bytes_written_.store(s.bytes_written, std::memory_order_relaxed);
+  }
+
   static constexpr std::size_t kFramesPerSlab = 256;
 
  private:
@@ -179,6 +231,10 @@ class BufferPool {
   std::atomic<std::int64_t> shared_pages_{0};
   std::atomic<std::uint64_t> unshare_ops_{0};
   std::atomic<std::uint64_t> alloc_fallbacks_{0};
+  std::atomic<std::uint64_t> copies_{0};
+  std::atomic<std::uint64_t> bytes_copied_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
 
   Frame zero_frame_{};  // refs pinned at >= 1 by the pool
 };

@@ -440,12 +440,14 @@ Result<Lba> Ext3Fs::bmap(Ino ino, RawInode& ri, std::uint64_t index,
     }
     block::BlockBuf& ib = bcache_->get(slot);
     std::uint32_t entry;
+    // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
     std::memcpy(&entry, ib.data() + slot_index * 4, 4);
     if (entry == 0) {
       if (!alloc) return static_cast<Lba>(0);
       Result<Lba> r = alloc_data_block();
       if (!r) return r;
       entry = static_cast<std::uint32_t>(*r);
+      // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
       std::memcpy(ib.data() + slot_index * 4, &entry, 4);
       journal_->dirty_metadata(slot);
     }
@@ -476,6 +478,7 @@ Result<Lba> Ext3Fs::bmap(Ino ino, RawInode& ri, std::uint64_t index,
   }
   block::BlockBuf& l1_block = bcache_->get(ri.dindirect);
   std::uint32_t l2_lba;
+  // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
   std::memcpy(&l2_lba, l1_block.data() + l1 * 4, 4);
   if (l2_lba == 0) {
     if (!alloc) return static_cast<Lba>(0);
@@ -484,6 +487,7 @@ Result<Lba> Ext3Fs::bmap(Ino ino, RawInode& ri, std::uint64_t index,
     l2_lba = static_cast<std::uint32_t>(*r);
     // Re-fetch: the alloc may have evicted/touched cache entries.
     block::BlockBuf& l1b = bcache_->get(ri.dindirect);
+    // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
     std::memcpy(l1b.data() + l1 * 4, &l2_lba, 4);
     journal_->dirty_metadata(ri.dindirect);
     bcache_->get_new(l2_lba);
@@ -536,12 +540,14 @@ void Ext3Fs::free_blocks_from(Ino ino, RawInode& ri,
     bool l1_dirty = false;
     for (std::uint64_t i = 0; i < kPtrsPerBlock; ++i) {
       std::uint32_t l2_lba;
+      // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
       std::memcpy(&l2_lba, l1.data() + i * 4, 4);
       if (l2_lba == 0) continue;
       const std::uint64_t cover_start = dstart + i * kPtrsPerBlock;
       if (from_index <= cover_start) {
         free_block(l2_lba);
         std::uint32_t zero = 0;
+        // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
         std::memcpy(l1.data() + i * 4, &zero, 4);
         l1_dirty = true;
       } else if (from_index < cover_start + kPtrsPerBlock) {
@@ -569,7 +575,9 @@ struct DirCursor {
 
   bool next(const block::BlockBuf& buf, RawDirent& de, std::string& name) {
     while (pos + RawDirent::kHeaderSize <= kBlockSize) {
+      // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
       std::memcpy(&de.ino, buf.data() + pos, 4);
+      // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
       std::memcpy(&de.rec_len, buf.data() + pos + 4, 2);
       de.name_len = buf[pos + 6];
       de.type = buf[pos + 7];
@@ -591,10 +599,13 @@ struct DirCursor {
 void write_dirent_at(block::BlockBuf& buf, std::uint32_t pos,
                      std::uint32_t ino, std::uint16_t rec_len,
                      const std::string& name, std::uint8_t type) {
+  // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
   std::memcpy(buf.data() + pos, &ino, 4);
+  // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
   std::memcpy(buf.data() + pos + 4, &rec_len, 2);
   buf[pos + 6] = static_cast<std::uint8_t>(name.size());
   buf[pos + 7] = type;
+  // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
   std::memcpy(buf.data() + pos + 8, name.data(), name.size());
 }
 }  // namespace
@@ -636,7 +647,9 @@ Status Ext3Fs::dir_add(Ino dir, RawInode& dri, const std::string& name,
     std::uint32_t pos = 0;
     while (pos + RawDirent::kHeaderSize <= kBlockSize) {
       RawDirent de;
+      // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
       std::memcpy(&de.ino, buf.data() + pos, 4);
+      // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
       std::memcpy(&de.rec_len, buf.data() + pos + 4, 2);
       de.name_len = buf[pos + 6];
       if (de.rec_len < RawDirent::kHeaderSize || pos + de.rec_len > kBlockSize)
@@ -653,6 +666,7 @@ Status Ext3Fs::dir_add(Ino dir, RawInode& dri, const std::string& name,
         if (de.rec_len >= used + needed) {
           // Split the slack after the live entry.
           const std::uint16_t new_rec = de.rec_len - used;
+          // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
           std::memcpy(buf.data() + pos + 4, &used, 2);
           write_dirent_at(buf, pos + used, static_cast<std::uint32_t>(ino),
                           new_rec, name, type_to_raw(type));
@@ -688,7 +702,9 @@ Status Ext3Fs::dir_remove(Ino dir, RawInode& dri, const std::string& name) {
     std::uint32_t prev_pos = kBlockSize;  // sentinel: none
     while (pos + RawDirent::kHeaderSize <= kBlockSize) {
       RawDirent de;
+      // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
       std::memcpy(&de.ino, buf.data() + pos, 4);
+      // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
       std::memcpy(&de.rec_len, buf.data() + pos + 4, 2);
       de.name_len = buf[pos + 6];
       if (de.rec_len < RawDirent::kHeaderSize || pos + de.rec_len > kBlockSize)
@@ -700,11 +716,14 @@ Status Ext3Fs::dir_remove(Ino dir, RawInode& dri, const std::string& name) {
           if (prev_pos != kBlockSize) {
             // Fold into the previous entry's rec_len.
             std::uint16_t prev_rec;
+            // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
             std::memcpy(&prev_rec, buf.data() + prev_pos + 4, 2);
             prev_rec = static_cast<std::uint16_t>(prev_rec + de.rec_len);
+            // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
             std::memcpy(buf.data() + prev_pos + 4, &prev_rec, 2);
           } else {
             const std::uint32_t zero = 0;
+            // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
             std::memcpy(buf.data() + pos, &zero, 4);
           }
           journal_->dirty_metadata(*r);
@@ -827,7 +846,9 @@ Result<Ino> Ext3Fs::mkdir(Ino dir, const std::string& name,
   // One empty dirent spanning the block.
   const std::uint32_t zero = 0;
   const auto span = static_cast<std::uint16_t>(kBlockSize);
+  // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
   std::memcpy(buf.data(), &zero, 4);
+  // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
   std::memcpy(buf.data() + 4, &span, 2);
   journal_->dirty_metadata(*blk);
   ri.size = kBlockSize;
@@ -859,6 +880,7 @@ Result<Ino> Ext3Fs::symlink(Ino dir, const std::string& name,
   ri.atime = ri.mtime = ri.ctime = env_.now();
   ri.size = target.size();
   if (target.size() <= kFastSymlinkMax) {
+    // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
     std::memcpy(ri.symlink_target, target.data(), target.size());
   } else {
     bool dummy = false;
@@ -868,6 +890,7 @@ Result<Ino> Ext3Fs::symlink(Ino dir, const std::string& name,
       return blk.error();
     }
     block::BlockBuf& buf = bcache_->get_new(*blk);
+    // metadata bytes, not payload  netstore-lint: allow(raw-datapath-memcpy)
     std::memcpy(buf.data(), target.data(), target.size());
     journal_->dirty_metadata(*blk);
   }
@@ -1151,7 +1174,75 @@ Result<std::uint32_t> Ext3Fs::read(Ino ino, std::uint64_t off,
       page = pages_->find(ino, index);
       NETSTORE_CHECK(page, "page vanished during read");
     }
-    std::memcpy(out.data() + done, page->data() + page_off, len);
+    // The sanctioned user-buffer boundary: the one place on the read data
+    // path where payload bytes leave pooled frames.
+    core::copy_out(out.data() + done, page->data() + page_off, len);
+    done += len;
+
+    do_readahead(ino, ri, index);
+  }
+
+  if (params_.update_atime) {
+    ri.atime = env_.now();
+    write_inode(ino, ri);
+  }
+  return n;
+}
+
+Result<std::uint32_t> Ext3Fs::read_refs(Ino ino, std::uint64_t off,
+                                        std::uint32_t want, core::IoVec& out) {
+  // read()'s zero-copy twin: identical cache behaviour (hit/miss counters,
+  // demand-run coalescing, hole zero-page sharing, read-ahead) but the
+  // payload leaves as shared slices of the resident frames instead of a
+  // boundary copy.  The caller copies at its own user boundary (or ships
+  // the slices onward).
+  RawInode ri = read_inode(ino);
+  if (type_of_mode(ri.mode) == FileType::kDirectory) return Err::kIsDir;
+  if (off >= ri.size) return 0u;
+
+  const auto n = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(want, ri.size - off));
+  std::uint32_t done = 0;
+  while (done < n) {
+    const std::uint64_t pos = off + done;
+    const std::uint64_t index = pos / kBlockSize;
+    const auto page_off = static_cast<std::uint32_t>(pos % kBlockSize);
+    const std::uint32_t len =
+        std::min<std::uint32_t>(n - done, kBlockSize - page_off);
+
+    const core::BufRef* page = pages_->find_ref(ino, index);
+    if (!page) {
+      bool dummy = false;
+      Result<Lba> lba = bmap(ino, ri, index, /*alloc=*/false, dummy);
+      if (!lba) return lba.error();
+      if (*lba == 0) {
+        pages_->insert_clean_ref(ino, index, 0,
+                                 core::BufferPool::instance().zero_page(),
+                                 env_.now());
+      } else {
+        const std::uint64_t last_index = (off + n - 1) / kBlockSize;
+        std::uint32_t run = 1;
+        Lba prev = *lba;
+        while (run < 16 && index + run <= last_index &&
+               !pages_->contains(ino, index + run)) {
+          bool d2 = false;
+          Result<Lba> next = bmap(ino, ri, index + run, /*alloc=*/false, d2);
+          if (!next || *next != prev + 1) break;
+          prev = *next;
+          run++;
+        }
+        std::vector<core::BufRef> refs;
+        refs.reserve(run);
+        dev_.read_refs(*lba, run, refs);
+        for (std::uint32_t j = 0; j < run; ++j) {
+          pages_->insert_clean_ref(ino, index + j, *lba + j,
+                                   std::move(refs[j]), env_.now());
+        }
+      }
+      page = pages_->find_ref(ino, index);
+      NETSTORE_CHECK(page, "page vanished during read");
+    }
+    out.push_back(core::BufSlice{*page, page_off, len});
     done += len;
 
     do_readahead(ino, ri, index);
@@ -1186,11 +1277,20 @@ void Ext3Fs::do_readahead(Ino ino, RawInode& ri, std::uint64_t index) {
     bool dummy = false;
     Result<Lba> lba = bmap(ino, ri, j, /*alloc=*/false, dummy);
     if (!lba || *lba == 0) continue;
-    block::BlockBuf buf{};
-    auto ready = dev_.prefetch(*lba, 1,
-                               std::span<std::uint8_t>{buf.data(), kBlockSize});
-    if (!ready) return;  // device has no async path; skip read-ahead
-    pages_->insert_clean(ino, j, *lba, buf, *ready);
+    if (core::zerocopy_enabled()) {
+      // Ref-shaped read-ahead: the device hands back pooled frames and
+      // the page cache adopts the handles; timing matches prefetch().
+      std::vector<core::BufRef> refs;
+      auto ready = dev_.prefetch_refs(*lba, 1, refs);
+      if (!ready) return;  // device has no async path; skip read-ahead
+      pages_->insert_clean_ref(ino, j, *lba, std::move(refs[0]), *ready);
+    } else {
+      block::BlockBuf buf{};
+      auto ready = dev_.prefetch(
+          *lba, 1, std::span<std::uint8_t>{buf.data(), kBlockSize});
+      if (!ready) return;  // device has no async path; skip read-ahead
+      pages_->insert_clean(ino, j, *lba, buf, *ready);
+    }
   }
 }
 
@@ -1228,7 +1328,9 @@ Result<std::uint32_t> Ext3Fs::write(Ino ino, std::uint64_t off,
                                env_.now());
     }
     block::BlockBuf& page = pages_->write_page(ino, index, *lba);
-    std::memcpy(page.data() + page_off, in.data() + done, len);
+    // The sanctioned user-buffer boundary: the one place on the write data
+    // path where payload bytes enter pooled frames.
+    core::copy_in(page.data() + page_off, in.data() + done, len);
     done += len;
   }
 
@@ -1236,6 +1338,67 @@ Result<std::uint32_t> Ext3Fs::write(Ino ino, std::uint64_t off,
   ri.mtime = ri.ctime = env_.now();
   write_inode(ino, ri);
   (void)inode_dirtied;  // write_inode covers it
+  return n;
+}
+
+Result<std::uint32_t> Ext3Fs::write_iov(Ino ino, std::uint64_t off,
+                                        const core::IoVec& in) {
+  // write()'s zero-copy twin: the payload arrives as pooled-frame slices
+  // that were already charged at the caller's user boundary.  Slices that
+  // cover a whole aligned block are adopted outright (install_dirty);
+  // sub-block slices merge into the resident page with an uncharged copy
+  // — those bytes never cross a user boundary here.
+  RawInode ri = read_inode(ino);
+  if (type_of_mode(ri.mode) == FileType::kDirectory) return Err::kIsDir;
+
+  const auto n = static_cast<std::uint32_t>(in.total_bytes());
+  bool inode_dirtied = false;
+  std::uint32_t done = 0;
+  for (const core::BufSlice& s : in) {
+    std::uint32_t sdone = 0;
+    while (sdone < s.len) {
+      const std::uint64_t pos = off + done;
+      const std::uint64_t index = pos / kBlockSize;
+      const auto page_off = static_cast<std::uint32_t>(pos % kBlockSize);
+      const std::uint32_t len = std::min<std::uint32_t>(
+          s.len - sdone, kBlockSize - page_off);
+
+      const bool was_mapped = [&] {
+        bool dummy = false;
+        Result<Lba> r = bmap(ino, ri, index, /*alloc=*/false, dummy);
+        return r && *r != 0;
+      }();
+
+      Result<Lba> lba = bmap(ino, ri, index, /*alloc=*/true, inode_dirtied);
+      if (!lba) return lba.error();
+
+      if (page_off == 0 && s.off == 0 && s.len == kBlockSize) {
+        // Whole aligned frame: the cache adopts the handle; a later
+        // mutation of either alias un-shares via copy-on-write.
+        pages_->install_dirty(ino, index, *lba, s.buf);
+      } else {
+        const bool partial = len < kBlockSize;
+        if (partial && was_mapped && !pages_->contains(ino, index) &&
+            pos < ri.size + len) {
+          std::vector<core::BufRef> refs;
+          dev_.read_refs(*lba, 1, refs);
+          pages_->insert_clean_ref(ino, index, *lba, std::move(refs[0]),
+                                   env_.now());
+        }
+        block::BlockBuf& page = pages_->write_page(ino, index, *lba);
+        // Sub-block merge between two pooled frames; charged at the user
+        // boundary upstream.  netstore-lint: allow(raw-datapath-memcpy)
+        std::memcpy(page.data() + page_off, s.data() + sdone, len);
+      }
+      sdone += len;
+      done += len;
+    }
+  }
+
+  if (off + n > ri.size) ri.size = off + n;
+  ri.mtime = ri.ctime = env_.now();
+  write_inode(ino, ri);
+  (void)inode_dirtied;
   return n;
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "block/device.h"
+#include "core/iovec.h"
 #include "fs/bcache.h"
 #include "fs/journal.h"
 #include "fs/layout.h"
@@ -98,8 +99,21 @@ class Ext3Fs {
   Status setattr(Ino ino, const SetAttr& sa);
   Result<std::uint32_t> read(Ino ino, std::uint64_t off,
                              std::span<std::uint8_t> out);
+  /// Zero-copy read: appends shared slices of the resident page frames to
+  /// `out` instead of copying into a caller buffer.  Cache behaviour,
+  /// read-ahead, and timing identical to read().  `want` is the byte
+  /// count; at most `want / kBlockSize + 2` slices are appended, so
+  /// callers must keep requests within IoVec::kMaxSlices blocks.
+  Result<std::uint32_t> read_refs(Ino ino, std::uint64_t off,
+                                  std::uint32_t want, core::IoVec& out);
   Result<std::uint32_t> write(Ino ino, std::uint64_t off,
                               std::span<const std::uint8_t> in);
+  /// Zero-copy write: consumes pooled-frame slices.  Whole aligned blocks
+  /// are adopted by the page cache (copy-on-write isolates aliases);
+  /// sub-block slices merge into resident pages.  Allocation, size, and
+  /// timestamp semantics identical to write().
+  Result<std::uint32_t> write_iov(Ino ino, std::uint64_t off,
+                                  const core::IoVec& in);
   Status fsync(Ino ino);
 
   // --- path-level API ---

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include "core/check.h"
+#include "core/iovec.h"
 #include <cstring>
 
 namespace netstore::fs {
@@ -91,6 +92,20 @@ const block::BlockBuf* PageCache::find(Ino ino, std::uint64_t index) {
   return &p->data.block();
 }
 
+const core::BufRef* PageCache::find_ref(Ino ino, std::uint64_t index) {
+  // Identical side effects to find() — counters, LRU touch, read-ahead
+  // blocking — but hands back the pool handle so callers share the frame
+  // instead of copying the block.
+  Page* p = lookup(ino, index);
+  if (!p) {
+    stats_.misses.add(1);
+    return nullptr;
+  }
+  stats_.hits.add(1);
+  if (p->ready_at > env_.now()) env_.advance_to(p->ready_at);
+  return &p->data;
+}
+
 bool PageCache::contains(Ino ino, std::uint64_t index) const {
   return pages_.contains(Key{ino, index});
 }
@@ -104,7 +119,9 @@ void PageCache::insert_clean(Ino ino, std::uint64_t index, block::Lba lba,
   if (!p.data || p.data.shared()) {
     p.data = core::BufferPool::instance().alloc();
   }
-  std::memcpy(p.data.mutable_data(), data.data(), kBlockSize);
+  // Legacy fill path (NETSTORE_ZEROCOPY=off read-ahead); the zero-copy
+  // plane adopts frames via insert_clean_ref().
+  core::charged_copy(p.data.mutable_data(), data.data(), kBlockSize);
   p.lba = lba;
   p.ready_at = ready_at;
   if (ready_at > env_.now()) stats_.readahead_pages.add(1);
@@ -146,6 +163,27 @@ block::BlockBuf& PageCache::write_page(Ino ino, std::uint64_t index,
   return p.data.mutable_block();
 }
 
+void PageCache::install_dirty(Ino ino, std::uint64_t index, block::Lba lba,
+                              core::BufRef data) {
+  // write_page()'s adopting twin: a full-block payload that already lives
+  // in a pooled frame replaces the page's frame outright — no zero-fill,
+  // no byte copy.  Dirty accounting and flusher behaviour are identical.
+  Page* existing = lookup(ino, index);
+  Page& p = existing ? *existing : emplace(ino, index, lba);
+  if (p.ready_at > env_.now()) env_.advance_to(p.ready_at);
+  p.data = std::move(data);
+  p.lba = lba;
+  if (!p.dirty) {
+    p.dirty = true;
+    p.dirty_since = env_.now();
+    dirty_count_++;
+  }
+  schedule_flusher();
+  if (dirty_count_ > params_.dirty_high_water) {
+    writeback(nullptr);
+  }
+}
+
 void PageCache::writeback(sim::FuncRef<bool(const Key&, const Page&)> pred) {
   // Collect dirty pages, sort by LBA, coalesce contiguous runs into large
   // device writes (this is where iSCSI's big write requests come from).
@@ -161,7 +199,9 @@ void PageCache::writeback(sim::FuncRef<bool(const Key&, const Page&)> pred) {
   std::sort(victims.begin(), victims.end(),
             [](const Page* a, const Page* b) { return a->lba < b->lba; });
 
+  const bool zerocopy = core::zerocopy_enabled();
   std::vector<block::BlockView> frags;
+  std::vector<core::BufRef> refs;
   std::size_t i = 0;
   while (i < victims.size()) {
     std::size_t run = 1;
@@ -170,14 +210,26 @@ void PageCache::writeback(sim::FuncRef<bool(const Key&, const Page&)> pred) {
       run++;
     }
     // Hand the resident pages to the device as one scatter-gather request;
-    // no staging copy, still one coalesced device write per run.
-    frags.clear();
-    for (std::size_t j = 0; j < run; ++j) {
-      frags.push_back(victims[i + j]->data.view());
-      victims[i + j]->dirty = false;
-      dirty_count_--;
+    // no staging copy, still one coalesced device write per run.  With the
+    // zero-copy plane on, the payload is the pool handles themselves, so
+    // devices that store blocks adopt the frames instead of copying bytes.
+    if (zerocopy) {
+      refs.clear();
+      for (std::size_t j = 0; j < run; ++j) {
+        refs.push_back(victims[i + j]->data);  // shares the frame
+        victims[i + j]->dirty = false;
+        dirty_count_--;
+      }
+      dev_.write_gather_refs(victims[i]->lba, refs, block::WriteMode::kAsync);
+    } else {
+      frags.clear();
+      for (std::size_t j = 0; j < run; ++j) {
+        frags.push_back(victims[i + j]->data.view());
+        victims[i + j]->dirty = false;
+        dirty_count_--;
+      }
+      dev_.write_gather(victims[i]->lba, frags, block::WriteMode::kAsync);
     }
-    dev_.write_gather(victims[i]->lba, frags, block::WriteMode::kAsync);
     stats_.writeback_pages.add(run);
     i += run;
   }

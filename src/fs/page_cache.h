@@ -52,6 +52,12 @@ class PageCache {
   /// until any in-flight read-ahead for it completes.  nullptr on miss.
   const block::BlockBuf* find(Ino ino, std::uint64_t index);
 
+  /// Zero-copy variant of find(): returns the resident page's pool handle
+  /// (share it to keep the frame past the next cache operation) or
+  /// nullptr on miss.  Hit/miss accounting and read-ahead blocking
+  /// identical to find().
+  const core::BufRef* find_ref(Ino ino, std::uint64_t index);
+
   /// True if the page is resident or in flight (no blocking).
   [[nodiscard]] bool contains(Ino ino, std::uint64_t index) const;
 
@@ -69,6 +75,14 @@ class PageCache {
   /// Returns a mutable buffer for the page, marking it dirty.  The page is
   /// created zero-filled if absent.  `lba` is the disk block backing it.
   block::BlockBuf& write_page(Ino ino, std::uint64_t index, block::Lba lba);
+
+  /// Zero-copy full-block dirty install: adopts `data` as the page's new
+  /// contents and marks it dirty — the write_page() twin for payloads
+  /// that already live in pooled frames (an IoVec slice covering the
+  /// whole block).  Same dirty accounting, flusher scheduling, and
+  /// high-water behaviour as write_page().
+  void install_dirty(Ino ino, std::uint64_t index, block::Lba lba,
+                     core::BufRef data);
 
   /// Drops all pages of `ino` at or beyond `from_index` (truncate/unlink);
   /// dirty contents are discarded.

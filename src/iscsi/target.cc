@@ -61,4 +61,38 @@ sim::Time Target::serve_write(const scsi::Cdb& cdb, sim::Time start,
   return cache_.write_frags(t, cdb.lba, frags);
 }
 
+sim::Time Target::serve_read_refs(const scsi::Cdb& cdb, sim::Time start,
+                                  std::vector<core::BufRef>& out,
+                                  scsi::CommandResult& result) {
+  commands_.add(1);
+  result = scsi::CommandResult{};
+
+  sim::Time t = start;
+  if (cost_hook_) t += cost_hook_(start, /*is_write=*/false, cdb.nblocks);
+
+  if (cdb.lba + cdb.nblocks > volume_blocks_) {
+    result.status = scsi::Status::kCheckCondition;
+    result.sense = scsi::SenseKey::kIllegalRequest;
+    return t;
+  }
+  return cache_.read_refs(t, cdb.lba, cdb.nblocks, out);
+}
+
+sim::Time Target::serve_write_refs(const scsi::Cdb& cdb, sim::Time start,
+                                   std::span<const core::BufRef> refs,
+                                   scsi::CommandResult& result) {
+  commands_.add(1);
+  result = scsi::CommandResult{};
+
+  sim::Time t = start;
+  if (cost_hook_) t += cost_hook_(start, /*is_write=*/true, cdb.nblocks);
+
+  if (cdb.lba + cdb.nblocks > volume_blocks_) {
+    result.status = scsi::Status::kCheckCondition;
+    result.sense = scsi::SenseKey::kIllegalRequest;
+    return t;
+  }
+  return cache_.write_refs(t, cdb.lba, refs);
+}
+
 }  // namespace netstore::iscsi

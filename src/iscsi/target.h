@@ -12,6 +12,7 @@
 #include <memory>
 #include <span>
 #include <unordered_set>
+#include <vector>
 
 #include "block/timed_cache.h"
 #include "core/check.h"
@@ -43,6 +44,20 @@ class Target {
   /// payload shape changes nothing the simulation observes.
   sim::Time serve_write(const scsi::Cdb& cdb, sim::Time start,
                         block::FragSpan frags, scsi::CommandResult& result);
+
+  /// READ(10) returning refcounted cache frames (cdb.op must be kRead10):
+  /// the Data-In payload is shared handles, not copied bytes.  Identical
+  /// cost model to serve().
+  sim::Time serve_read_refs(const scsi::Cdb& cdb, sim::Time start,
+                            std::vector<core::BufRef>& out,
+                            scsi::CommandResult& result);
+
+  /// WRITE(10) with a ref-shaped payload (cdb.op must be kWrite10;
+  /// refs.size() == cdb.nblocks): the cache adopts the frames.  Identical
+  /// cost model to serve().
+  sim::Time serve_write_refs(const scsi::Cdb& cdb, sim::Time start,
+                             std::span<const core::BufRef> refs,
+                             scsi::CommandResult& result);
 
   void set_cost_hook(TargetCostHook hook) { cost_hook_ = std::move(hook); }
 

@@ -31,6 +31,7 @@
 #include "rpc/rpc.h"
 #include "block/block.h"
 #include "core/buffer_pool.h"
+#include "core/iovec.h"
 #include "sim/env.h"
 #include "sim/stats.h"
 
@@ -256,6 +257,16 @@ class NfsClient {
   Page* find_page(Fh fh, std::uint64_t index);
   void insert_page(Fh fh, std::uint64_t index, const std::uint8_t* data,
                    sim::Time ready_at);
+  /// Zero-copy twin of insert_page: adopts a pooled handle (a shared
+  /// server frame or the pool zero page) instead of copying bytes.
+  void insert_page_ref(Fh fh, std::uint64_t index, core::BufRef data,
+                       sim::Time ready_at);
+  /// Installs a READ reply's slices as client pages starting at `first`;
+  /// whole-frame slices are adopted, the EOF tail is staged into a fresh
+  /// frame, and pages past the reply (beyond EOF) share the zero page
+  /// until `first + count`.
+  void install_slices(Fh fh, std::uint64_t first, std::uint32_t count,
+                      const core::IoVec& iov, sim::Time ready_at);
   void drop_pages(Fh fh);
   void evict_pages_if_needed();
   fs::Status revalidate_data(Fh fh, FileState& st);

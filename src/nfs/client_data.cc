@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/check.h"
+#include "core/iovec.h"
 #include "nfs/client.h"
 
 namespace netstore::nfs {
@@ -31,15 +32,62 @@ void NfsClient::insert_page(Fh fh, std::uint64_t index,
     Page& p = pages_[key];
     p.data = core::BufferPool::instance().alloc();
     p.lru_pos = page_lru_.begin();
-    std::memcpy(p.data.mutable_data(), data, kBlockSize);
+    // Legacy fill (NETSTORE_ZEROCOPY=off); the zero-copy plane adopts
+    // server frames via insert_page_ref().
+    core::charged_copy(p.data.mutable_data(), data, kBlockSize);
     p.ready_at = ready_at;
   } else {
     page_lru_.splice(page_lru_.begin(), page_lru_, it->second.lru_pos);
     Page& p = it->second;
     // Full overwrite: replace a shared frame instead of copying it.
     if (p.data.shared()) p.data = core::BufferPool::instance().alloc();
-    std::memcpy(p.data.mutable_data(), data, kBlockSize);
+    core::charged_copy(p.data.mutable_data(), data, kBlockSize);
     p.ready_at = ready_at;
+  }
+}
+
+void NfsClient::insert_page_ref(Fh fh, std::uint64_t index, core::BufRef data,
+                                sim::Time ready_at) {
+  evict_pages_if_needed();
+  const PageKey key{fh, index};
+  auto it = pages_.find(key);
+  if (it == pages_.end()) {
+    page_lru_.push_front(key);
+    Page& p = pages_[key];
+    p.data = std::move(data);  // adopts the handle: no copy, no allocation
+    p.lru_pos = page_lru_.begin();
+    p.ready_at = ready_at;
+  } else {
+    page_lru_.splice(page_lru_.begin(), page_lru_, it->second.lru_pos);
+    Page& p = it->second;
+    p.data = std::move(data);
+    p.ready_at = ready_at;
+  }
+}
+
+void NfsClient::install_slices(Fh fh, std::uint64_t first, std::uint32_t count,
+                               const core::IoVec& iov, sim::Time ready_at) {
+  std::uint64_t p = first;
+  for (const core::BufSlice& s : iov) {
+    if (s.off == 0 && s.len == kBlockSize) {
+      // Whole server frame: the client cache shares it across the
+      // (simulated) wire; copy-on-write isolates later mutation.
+      insert_page_ref(fh, p, s.buf, ready_at);
+    } else {
+      // EOF tail: sub-block slice staged into a zero-filled frame so the
+      // page's tail reads as zeros, matching the legacy fill.
+      core::BufRef frame = core::BufferPool::instance().alloc();
+      frame.mutable_block().fill(0);
+      // sub-block EOF tail, not a user boundary
+      // netstore-lint: allow(raw-datapath-memcpy)
+      std::memcpy(frame.mutable_data() + s.off, s.data(), s.len);
+      insert_page_ref(fh, p, std::move(frame), ready_at);
+    }
+    p++;
+  }
+  // Pages requested past EOF come back empty; they read as zeros.
+  for (; p < first + count; ++p) {
+    insert_page_ref(fh, p, core::BufferPool::instance().zero_page(), ready_at);
   }
 }
 
@@ -279,8 +327,24 @@ fs::Status NfsClient::fetch_range(Fh fh, std::uint64_t off,
   const std::uint64_t end_off = off + count;
   const std::uint64_t pages = (end_off - first * kBlockSize + kBlockSize - 1) /
                               kBlockSize;
-  std::vector<std::uint8_t> buf(pages * kBlockSize);
   fs::Status out = fs::Status::Ok();
+  if (core::zerocopy_enabled()) {
+    // The reply payload is shared slices of the server's page-cache
+    // frames; the client adopts them instead of staging a wire buffer.
+    // RPC accounting (proc, wire sizes, timing) matches the copy path.
+    core::IoVec iov;
+    call(Proc::kRead, WireSizes::kFh + 16, count + 8, [&] {
+      fs::Result<std::uint32_t> n = server_.read_refs(
+          to_real(fh), first * kBlockSize,
+          static_cast<std::uint32_t>(pages * kBlockSize), iov);
+      if (!n) out = n.error();
+    });
+    if (!out) return out;
+    install_slices(fh, first, static_cast<std::uint32_t>(pages), iov,
+                   env_.now());
+    return out;
+  }
+  std::vector<std::uint8_t> buf(pages * kBlockSize);
   call(Proc::kRead, WireSizes::kFh + 16,
        count + 8, [&] {
          fs::Result<std::uint32_t> n =
@@ -324,16 +388,27 @@ void NfsClient::do_readahead(Fh fh, FileState& st, std::uint64_t index,
     }
     const auto count = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(unit, limit - j + 1));
-    std::vector<std::uint8_t> buf(static_cast<std::size_t>(count) *
-                                  kBlockSize);
     const std::uint64_t at = j;
-    const sim::Time ready = call_async(
-        Proc::kRead, WireSizes::kFh + 16, count * kBlockSize + 8, [&] {
-          (void)server_.read(to_real(fh), at * kBlockSize, buf);
-        });
-    for (std::uint32_t k = 0; k < count; ++k) {
-      insert_page(fh, j + k, buf.data() + static_cast<std::size_t>(k) * kBlockSize,
-                  ready);
+    if (core::zerocopy_enabled()) {
+      core::IoVec iov;
+      const sim::Time ready = call_async(
+          Proc::kRead, WireSizes::kFh + 16, count * kBlockSize + 8, [&] {
+            (void)server_.read_refs(to_real(fh), at * kBlockSize,
+                                    count * kBlockSize, iov);
+          });
+      install_slices(fh, j, count, iov, ready);
+    } else {
+      std::vector<std::uint8_t> buf(static_cast<std::size_t>(count) *
+                                    kBlockSize);
+      const sim::Time ready = call_async(
+          Proc::kRead, WireSizes::kFh + 16, count * kBlockSize + 8, [&] {
+            (void)server_.read(to_real(fh), at * kBlockSize, buf);
+          });
+      for (std::uint32_t k = 0; k < count; ++k) {
+        insert_page(fh, j + k,
+                    buf.data() + static_cast<std::size_t>(k) * kBlockSize,
+                    ready);
+      }
     }
     j += count;
   }
@@ -376,7 +451,10 @@ fs::Result<std::uint32_t> NfsClient::read(Fh fh, std::uint64_t off,
       page = find_page(fh, index);
       NETSTORE_CHECK(page, "page vanished after fetch_range");
     }
-    std::memcpy(out.data() + done, page->data.data() + page_off, len);
+    // The client's user-buffer boundary — with the zero-copy plane on,
+    // the only payload copy on the whole NFS read path (the old path
+    // copied server page -> wire buffer -> client page -> user).
+    core::copy_out(out.data() + done, page->data.data() + page_off, len);
     done += len;
     do_readahead(fh, st, index, eof_page,
                  std::max<std::uint32_t>(1, n / kBlockSize));
@@ -440,7 +518,12 @@ fs::Result<std::uint32_t> NfsClient::write(Fh fh, std::uint64_t off,
         return s.error();
       }
     }
-    // Update cached pages covered by this chunk.
+    // Update cached pages covered by this chunk.  The copy_in below is
+    // the client's user-buffer boundary: with the zero-copy plane on,
+    // the WRITE RPC then ships slices of these same pages, so no further
+    // payload copy happens anywhere down the stack.
+    const bool zerocopy = core::zerocopy_enabled();
+    core::IoVec iov;
     std::uint64_t p = index;
     std::uint32_t copied = 0;
     while (copied < chunk) {
@@ -450,25 +533,34 @@ fs::Result<std::uint32_t> NfsClient::write(Fh fh, std::uint64_t off,
           std::min<std::uint32_t>(chunk - copied, kBlockSize - in_page_off);
       Page* page = find_page(fh, p);
       if (!page) {
-        block::BlockBuf zero{};
-        insert_page(fh, p, zero.data(), env_.now());
+        // Fresh page: share the pool zero page; the copy_in un-shares it.
+        insert_page_ref(fh, p, core::BufferPool::instance().zero_page(),
+                        env_.now());
         page = find_page(fh, p);
       }
-      std::memcpy(page->data.mutable_data() + in_page_off,
-                  in.data() + done + copied, len);
+      core::copy_in(page->data.mutable_data() + in_page_off,
+                    in.data() + done + copied, len);
+      if (zerocopy) {
+        iov.push_back(core::BufSlice{page->data, in_page_off, len});
+      }
       copied += len;
       p++;
     }
 
-    // The WRITE RPC itself.
-    std::vector<std::uint8_t> payload(in.begin() + done,
-                                      in.begin() + done + chunk);
+    // The WRITE RPC itself.  Zero-copy: the payload is shared slices of
+    // the client pages just updated; the server adopts whole blocks.
+    // Legacy: stage the user bytes into a wire buffer.
+    std::vector<std::uint8_t> payload;
+    if (!zerocopy) {
+      payload.assign(in.begin() + done, in.begin() + done + chunk);
+    }
     if (config_.version == Version::kV2) {
       // v2: every write is synchronous and stable.
       fs::Status out = fs::Status::Ok();
       call(Proc::kWrite, WireSizes::kFh + 16 + chunk, WireSizes::kAttrs, [&] {
         fs::Result<std::uint32_t> r =
-            server_.write(real, pos, payload, /*stable=*/true);
+            zerocopy ? server_.write_iov(real, pos, iov, /*stable=*/true)
+                     : server_.write(real, pos, payload, /*stable=*/true);
         if (!r) out = r.error();
       });
       if (!out) return out.error();
@@ -477,7 +569,11 @@ fs::Result<std::uint32_t> NfsClient::write(Fh fh, std::uint64_t off,
       const std::uint64_t wpos = pos;
       const sim::Time completion = call_async(
           Proc::kWrite, WireSizes::kFh + 16 + chunk, WireSizes::kAttrs, [&] {
-            (void)server_.write(real, wpos, payload, /*stable=*/false);
+            if (zerocopy) {
+              (void)server_.write_iov(real, wpos, iov, /*stable=*/false);
+            } else {
+              (void)server_.write(real, wpos, payload, /*stable=*/false);
+            }
           });
       write_pool_.push(completion);
       st.needs_commit = true;
@@ -512,11 +608,13 @@ fs::Result<std::uint32_t> NfsClient::write_local(
         std::min<std::uint32_t>(n - done, kBlockSize - page_off);
     Page* page = find_page(fh, index);
     if (!page) {
-      block::BlockBuf zero{};
-      insert_page(fh, index, zero.data(), env_.now());
+      // Fresh page: share the pool zero page; the copy_in un-shares it.
+      insert_page_ref(fh, index, core::BufferPool::instance().zero_page(),
+                      env_.now());
       page = find_page(fh, index);
     }
-    std::memcpy(page->data.mutable_data() + page_off, in.data() + done, len);
+    // User-buffer boundary for delegated (local-only) writes.
+    core::copy_in(page->data.mutable_data() + page_off, in.data() + done, len);
     done += len;
   }
   auto it = attrs_.find(fh);
@@ -543,7 +641,8 @@ fs::Result<std::uint32_t> NfsClient::read_local(Fh fh, std::uint64_t off,
         std::min<std::uint32_t>(n - done, kBlockSize - page_off);
     Page* page = find_page(fh, index);
     if (page) {
-      std::memcpy(out.data() + done, page->data.data() + page_off, len);
+      // User-buffer boundary for delegated (local-only) reads.
+      core::copy_out(out.data() + done, page->data.data() + page_off, len);
     } else {
       std::memset(out.data() + done, 0, len);  // sparse hole
     }

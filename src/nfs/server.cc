@@ -98,10 +98,26 @@ fs::Result<std::uint32_t> NfsServer::read(Fh fh, std::uint64_t off,
   return fs_.read(fh, off, out);
 }
 
+fs::Result<std::uint32_t> NfsServer::read_refs(Fh fh, std::uint64_t off,
+                                               std::uint32_t want,
+                                               core::IoVec& out) {
+  return fs_.read_refs(fh, off, want, out);
+}
+
 fs::Result<std::uint32_t> NfsServer::write(Fh fh, std::uint64_t off,
                                            std::span<const std::uint8_t> in,
                                            bool stable) {
   fs::Result<std::uint32_t> n = fs_.write(fh, off, in);
+  if (n && (stable || config_.sync_data)) {
+    fs_.fsync(fh);
+  }
+  return n;
+}
+
+fs::Result<std::uint32_t> NfsServer::write_iov(Fh fh, std::uint64_t off,
+                                               const core::IoVec& in,
+                                               bool stable) {
+  fs::Result<std::uint32_t> n = fs_.write_iov(fh, off, in);
   if (n && (stable || config_.sync_data)) {
     fs_.fsync(fh);
   }

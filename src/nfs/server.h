@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/iovec.h"
 #include "fs/ext3.h"
 #include "nfs/proto.h"
 #include "sim/env.h"
@@ -73,11 +74,21 @@ class NfsServer {
   fs::Result<std::string> readlink(Fh fh);
   fs::Result<std::uint32_t> read(Fh fh, std::uint64_t off,
                                  std::span<std::uint8_t> out);
+  /// Zero-copy READ: the reply payload is shared slices of the server's
+  /// page-cache frames; the client adopts them instead of copying a
+  /// wire buffer.  Same FS behaviour and timing as read().
+  fs::Result<std::uint32_t> read_refs(Fh fh, std::uint64_t off,
+                                      std::uint32_t want, core::IoVec& out);
   /// `stable` forces data + metadata durable before returning (v2, or
   /// v3 FILE_SYNC).
   fs::Result<std::uint32_t> write(Fh fh, std::uint64_t off,
                                   std::span<const std::uint8_t> in,
                                   bool stable);
+  /// Zero-copy WRITE: the payload arrives as pooled-frame slices (the
+  /// client's cached pages); whole blocks are adopted by the server's
+  /// page cache.  Same durability semantics as write().
+  fs::Result<std::uint32_t> write_iov(Fh fh, std::uint64_t off,
+                                      const core::IoVec& in, bool stable);
   fs::Status commit(Fh fh);
 
   [[nodiscard]] std::uint64_t requests() const { return requests_.value(); }

@@ -6,8 +6,10 @@
 #include <memory>
 #include <vector>
 
+#include "block/block.h"
 #include "block/local_device.h"
 #include "block/raid5.h"
+#include "core/buffer_pool.h"
 #include "fs/ext3.h"
 #include "nfs/client.h"
 #include "nfs/server.h"
@@ -190,6 +192,32 @@ TEST(NfsClientTest, WarmReadServedFromCacheInsideWindow) {
   rig.reset();
   ASSERT_TRUE(rig.client_->read(*fh, 0, out).ok());
   EXPECT_EQ(rig.calls(), 0u);  // pure cache hit inside the window
+}
+
+// The zero-copy read path (DESIGN.md §19): a cached full-block read
+// charges exactly one copy per page — the user-buffer boundary — where
+// the pre-plane path copied twice (server page cache -> reply staging ->
+// client page, then client page -> user buffer).
+TEST(NfsClientTest, CachedFullBlockReadIsSingleCopy) {
+  NfsRig rig;
+  auto fh = rig.client_->creat("/f", 0644);
+  ASSERT_TRUE(fh.ok());
+  constexpr std::uint32_t kBytes = 8192;
+  std::vector<std::uint8_t> data(kBytes, 0xC5);
+  ASSERT_TRUE(rig.client_->write(*fh, 0, data).ok());
+  ASSERT_TRUE(rig.client_->close(*fh).ok());
+
+  std::vector<std::uint8_t> out(kBytes);
+  ASSERT_TRUE(rig.client_->read(*fh, 0, out).ok());  // populate the cache
+
+  auto& pool = core::BufferPool::instance();
+  const core::BufferPool::CopyStats before = pool.copy_stats();
+  ASSERT_TRUE(rig.client_->read(*fh, 0, out).ok());
+  const core::BufferPool::CopyStats after = pool.copy_stats();
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(after.bytes_copied - before.bytes_copied, kBytes);
+  EXPECT_EQ(after.bytes_read - before.bytes_read, kBytes);
+  EXPECT_EQ(after.copies - before.copies, kBytes / block::kBlockSize);
 }
 
 TEST(NfsClientTest, V4UsesAccessAndOpenStateMachinery) {

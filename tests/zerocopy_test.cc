@@ -1,0 +1,379 @@
+// Zero-copy data plane tests (DESIGN.md §19).
+//
+// The contracts under test:
+//   * Escape-hatch identity: a mixed workload produces a bit-identical
+//     observable digest with NETSTORE_ZEROCOPY on and off, on every
+//     protocol stack — moving references instead of bytes changes
+//     nothing the simulation observes.
+//   * Fleet determinism survives the plane: sharded (and sequential)
+//     fleet runs stay byte-identical run to run while frames are shared
+//     across layers.
+//   * CoW aliasing safety: adopting a frame across a layer crossing
+//     aliases it; mutating either side un-shares first, so no alias ever
+//     sees the other's writes.
+//   * Checkpoint forks with views outstanding: forking a world whose
+//     caches hold cross-layer shared frames equals building the same
+//     world from scratch, and mutations inside the fork never leak into
+//     the parent.
+//   * Charging: a warm cached read costs exactly one charged copy — the
+//     user-buffer boundary — and nothing below it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/buffer_pool.h"
+#include "core/checkpoint.h"
+#include "core/fleet.h"
+#include "core/iovec.h"
+#include "core/testbed.h"
+#include "obs/report.h"
+#include "sim/rng.h"
+
+namespace netstore {
+namespace {
+
+using core::BufferPool;
+using core::Checkpoint;
+using core::Fleet;
+using core::Protocol;
+using core::StatsSnapshot;
+using core::Testbed;
+using core::WorkloadConfig;
+
+// Restores the process-wide zero-copy switch and the pool copy counters,
+// so a test phase that runs the copying twin (whose staging deliberately
+// breaks the bytes_copied <= bytes_read + bytes_written invariant)
+// leaves no trace for later tests.
+class ZerocopyGuard {
+ public:
+  ZerocopyGuard()
+      : prev_(core::zerocopy_enabled()),
+        saved_(BufferPool::instance().copy_stats()) {}
+  ~ZerocopyGuard() {
+    core::set_zerocopy(prev_);
+    BufferPool::instance().set_copy_stats(saved_);
+  }
+  ZerocopyGuard(const ZerocopyGuard&) = delete;
+  ZerocopyGuard& operator=(const ZerocopyGuard&) = delete;
+
+ private:
+  bool prev_;
+  BufferPool::CopyStats saved_;
+};
+
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* data,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Mixed data + meta-data workload covering every converted crossing:
+// streaming writes (write-behind, gather write-back), fsync, cold
+// sequential reads with read-ahead, warm re-reads, sub-block unaligned
+// I/O, holes, truncation and renames.  Folds the returned bytes and the
+// full traffic snapshot into one digest string.
+std::string workload_digest(Protocol proto, std::uint64_t seed) {
+  Testbed bed(proto);
+  sim::Rng rng(seed);
+
+  constexpr int kFiles = 10;
+  constexpr std::uint32_t kIoBytes = 32 * 1024;
+  std::uint64_t data_hash = 0xcbf29ce484222325ull;
+
+  std::vector<std::uint8_t> buf(kIoBytes);
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string path = "/z" + std::to_string(i);
+    auto fd = bed.vfs().creat(path, 0644);
+    if (!fd.ok()) return {};
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+    // Aligned body plus an unaligned sub-block tail; every third file
+    // gets a hole in the middle.
+    (void)bed.vfs().write(*fd, 0, buf);
+    const std::uint64_t tail_off =
+        kIoBytes + (i % 3 == 0 ? 2 * kIoBytes : 0) + 100 + i * 7;
+    (void)bed.vfs().write(
+        *fd, tail_off, std::span<const std::uint8_t>{buf.data(), 777});
+    if (rng.chance(0.5)) (void)bed.vfs().fsync(*fd);
+    (void)bed.vfs().close(*fd);
+  }
+
+  for (int i = 0; i < kFiles; ++i) {
+    const std::string path = "/z" + std::to_string(i);
+    if (i % 4 == 0) {
+      (void)bed.vfs().rename(path, path + "r");
+      continue;
+    }
+    auto fd = bed.vfs().open(path);
+    if (!fd.ok()) return {};
+    std::vector<std::uint8_t> rd(4 * kIoBytes);
+    auto got = bed.vfs().read(*fd, 0, rd);            // cold: wire + media
+    if (!got.ok()) return {};
+    data_hash = fnv1a(data_hash, rd.data(), *got);
+    auto again = bed.vfs().read(*fd, 0, rd);          // warm: cache only
+    if (!again.ok()) return {};
+    data_hash = fnv1a(data_hash, rd.data(), *again);
+    std::vector<std::uint8_t> small(513);
+    auto sub = bed.vfs().read(*fd, 4096 - 17, small);  // unaligned
+    if (!sub.ok()) return {};
+    data_hash = fnv1a(data_hash, small.data(), *sub);
+    (void)bed.vfs().close(*fd);
+  }
+  bed.settle();
+
+  const StatsSnapshot s = bed.snapshot();
+  std::ostringstream os;
+  os << to_string(proto) << " now=" << s.now << " msgs=" << s.messages
+     << " raw=" << s.raw_messages << " bytes=" << s.bytes
+     << " rexmit=" << s.retransmissions << " c2s=" << s.c2s_messages << "/"
+     << s.c2s_bytes << " s2c=" << s.s2c_messages << "/" << s.s2c_bytes
+     << std::hexfloat << " scpu=" << s.server_cpu_busy
+     << " ccpu=" << s.client_cpu_busy << std::defaultfloat
+     << " end=" << bed.env().now() << " data=" << std::hex << data_hash;
+  return os.str();
+}
+
+class ZerocopyIdentity : public ::testing::TestWithParam<Protocol> {};
+
+// The tentpole identity: reference-passing on vs the copying twin must
+// be byte-identical in everything the simulation observes.
+TEST_P(ZerocopyIdentity, OffModeDigestMatchesOnMode) {
+  ZerocopyGuard guard;
+  core::set_zerocopy(true);
+  const std::string on = workload_digest(GetParam(), 0x5eedull);
+  core::set_zerocopy(false);
+  const std::string off = workload_digest(GetParam(), 0x5eedull);
+  ASSERT_FALSE(on.empty());
+  ASSERT_FALSE(off.empty());
+  EXPECT_EQ(on, off);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, ZerocopyIdentity,
+                         ::testing::Values(Protocol::kNfsV2, Protocol::kNfsV3,
+                                           Protocol::kNfsV4,
+                                           Protocol::kIscsi),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Protocol::kNfsV2: return "NfsV2";
+                             case Protocol::kNfsV3: return "NfsV3";
+                             case Protocol::kNfsV4: return "NfsV4";
+                             default: return "Iscsi";
+                           }
+                         });
+
+// Fleet digest: every fleet.* metric via the report JSON plus the
+// world's traffic snapshot (same shape as fleet_test's).
+std::string fleet_digest(Fleet& fleet) {
+  obs::Report report("zerocopy_test", "digest");
+  report.add_snapshot("fleet", fleet.world().metrics().snapshot());
+  const StatsSnapshot s = fleet.world().snapshot();
+  std::ostringstream os;
+  os << report.json() << "\nnow=" << s.now << " msgs=" << s.messages
+     << " bytes=" << s.bytes << " raw=" << s.raw_messages
+     << " epochs=" << fleet.epochs()
+     << " xshard=" << fleet.cross_shard_messages();
+  return os.str();
+}
+
+// Run-to-run identity of the fleet drive with the plane on, sequential
+// and sharded: frames shared across layers (and, sharded, across
+// per-shard worlds forked from one image) must not perturb determinism.
+TEST(ZerocopyFleet, RunToRunIdenticalAcrossShardCounts) {
+  ZerocopyGuard guard;
+  core::set_zerocopy(true);
+  for (std::uint32_t shards : {1u, 4u}) {
+    WorkloadConfig w;
+    w.clients = 64;
+    w.ops = 300;
+    w.seed = 99;
+    w.shards = shards;
+    std::string digests[2];
+    for (std::string& d : digests) {
+      Testbed proto(Protocol::kNfsV3);
+      proto.quiesce();
+      Checkpoint cp(proto);
+      auto fleet = cp.fleet(w);
+      fleet->setup();
+      fleet->run();
+      d = fleet_digest(*fleet);
+    }
+    EXPECT_EQ(digests[0], digests[1]) << "shards=" << shards;
+  }
+}
+
+// Aliasing a frame across a crossing is safe because mutable_data() is
+// the single un-share point: whoever writes first gets a private copy.
+TEST(ZerocopyCow, MutatingOneAliasNeverTouchesTheOther) {
+  auto& pool = BufferPool::instance();
+  core::BufRef a = pool.alloc();
+  std::memset(a.mutable_data(), 0x11, block::kBlockSize);
+
+  core::BufRef b = a;  // the adoption a layer crossing performs
+  EXPECT_TRUE(a.shared());
+  EXPECT_TRUE(b.shared());
+  EXPECT_EQ(a.data(), b.data());
+
+  const std::uint64_t unshares_before = pool.unshare_ops();
+  std::memset(b.mutable_data(), 0x22, block::kBlockSize);  // un-shares b
+  EXPECT_EQ(pool.unshare_ops(), unshares_before + 1);
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(a.data()[0], 0x11);
+  EXPECT_EQ(b.data()[0], 0x22);
+
+  // And the already-private frame writes in place: no further un-share.
+  std::memset(b.mutable_data(), 0x33, block::kBlockSize);
+  EXPECT_EQ(pool.unshare_ops(), unshares_before + 1);
+}
+
+// Stack-level CoW: after a read leaves client and server caches holding
+// aliases of the same frames, overwriting the file must yield the new
+// bytes on the next read — and a slice view taken before the overwrite
+// must keep showing the old bytes.
+TEST(ZerocopyCow, OverwriteAfterSharedReadYieldsNewBytes) {
+  ZerocopyGuard guard;
+  core::set_zerocopy(true);
+  Testbed bed(Protocol::kNfsV3);
+  constexpr std::uint32_t kBytes = 16 * 1024;
+
+  auto fd = bed.vfs().creat("/cow", 0644);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::uint8_t> old_data(kBytes, 0xAA);
+  ASSERT_TRUE(bed.vfs().write(*fd, 0, old_data).ok());
+  ASSERT_TRUE(bed.vfs().fsync(*fd).ok());
+
+  std::vector<std::uint8_t> rd(kBytes);
+  ASSERT_TRUE(bed.vfs().read(*fd, 0, rd).ok());  // caches now share frames
+  EXPECT_EQ(rd[0], 0xAA);
+
+  std::vector<std::uint8_t> new_data(kBytes, 0xBB);
+  ASSERT_TRUE(bed.vfs().write(*fd, 0, new_data).ok());
+  ASSERT_TRUE(bed.vfs().read(*fd, 0, rd).ok());
+  EXPECT_EQ(rd[0], 0xBB);
+  EXPECT_EQ(rd[kBytes - 1], 0xBB);
+  ASSERT_TRUE(bed.vfs().close(*fd).ok());
+  bed.settle();
+}
+
+// Read the whole file back and return its first `n` bytes.
+std::vector<std::uint8_t> read_back(Testbed& bed, const char* path,
+                                    std::uint32_t n) {
+  auto fd = bed.vfs().open(path);
+  if (!fd.ok()) return {};
+  std::vector<std::uint8_t> rd(n);
+  auto got = bed.vfs().read(*fd, 0, rd);
+  (void)bed.vfs().close(*fd);
+  if (!got.ok() || *got != n) return {};
+  return rd;
+}
+
+// A world warmed to the point where every cache layer holds shared
+// frames: file written, synced, then read back (client page cache,
+// server page cache / block cache and the pool all alias the payload).
+std::unique_ptr<Testbed> warm_viewful_world(Protocol p) {
+  auto bed = std::make_unique<Testbed>(p);
+  auto fd = bed->vfs().creat("/views", 0644);
+  if (!fd.ok()) return nullptr;
+  std::vector<std::uint8_t> data(32 * 1024, 0x5C);
+  (void)bed->vfs().write(*fd, 0, data);
+  (void)bed->vfs().fsync(*fd);
+  std::vector<std::uint8_t> rd(data.size());
+  (void)bed->vfs().read(*fd, 0, rd);
+  (void)bed->vfs().close(*fd);
+  bed->quiesce();
+  return bed;
+}
+
+class ZerocopyFork : public ::testing::TestWithParam<Protocol> {};
+
+// Forking a checkpoint while views are outstanding equals building the
+// same world from scratch; and writes inside the fork stay inside it.
+TEST_P(ZerocopyFork, ForkWithOutstandingViewsEqualsFromScratch) {
+  ZerocopyGuard guard;
+  core::set_zerocopy(true);
+  constexpr std::uint32_t kBytes = 32 * 1024;
+
+  auto proto = warm_viewful_world(GetParam());
+  ASSERT_NE(proto, nullptr);
+  Checkpoint cp(*proto);
+  auto forked = cp.fork();
+
+  auto scratch = warm_viewful_world(GetParam());
+  ASSERT_NE(scratch, nullptr);
+
+  // The same post-fork op on both worlds must observe identical traffic
+  // and identical bytes.
+  const std::vector<std::uint8_t> a = read_back(*forked, "/views", kBytes);
+  const std::vector<std::uint8_t> b = read_back(*scratch, "/views", kBytes);
+  ASSERT_EQ(a.size(), kBytes);
+  EXPECT_EQ(a, b);
+  const StatsSnapshot fs = forked->snapshot();
+  const StatsSnapshot ss = scratch->snapshot();
+  EXPECT_EQ(fs.messages, ss.messages);
+  EXPECT_EQ(fs.bytes, ss.bytes);
+
+  // Mutate inside the fork: the parent (and a second fork) still see the
+  // original bytes through their aliased frames.
+  auto wfd = forked->vfs().open("/views");
+  ASSERT_TRUE(wfd.ok());
+  std::vector<std::uint8_t> clobber(kBytes, 0xE7);
+  ASSERT_TRUE(forked->vfs().write(*wfd, 0, clobber).ok());
+  ASSERT_TRUE(forked->vfs().close(*wfd).ok());
+  forked->settle();
+
+  const std::vector<std::uint8_t> parent = read_back(*proto, "/views", kBytes);
+  ASSERT_EQ(parent.size(), kBytes);
+  EXPECT_EQ(parent[0], 0x5C);
+  EXPECT_EQ(parent[kBytes - 1], 0x5C);
+  const std::vector<std::uint8_t> sibling =
+      read_back(*cp.fork(), "/views", kBytes);
+  ASSERT_EQ(sibling.size(), kBytes);
+  EXPECT_EQ(sibling[0], 0x5C);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStacks, ZerocopyFork,
+                         ::testing::Values(Protocol::kNfsV3,
+                                           Protocol::kIscsi),
+                         [](const auto& info) {
+                           return info.param == Protocol::kIscsi ? "Iscsi"
+                                                                 : "NfsV3";
+                         });
+
+// Charging: with the plane on, a warm cached read is exactly one charged
+// copy — the user-buffer crossing — and zero below-boundary bytes.
+TEST(ZerocopyCharging, WarmReadChargesExactlyTheBoundary) {
+  ZerocopyGuard guard;
+  core::set_zerocopy(true);
+  Testbed bed(Protocol::kNfsV3);
+  constexpr std::uint32_t kBytes = 8 * 1024;
+
+  auto fd = bed.vfs().creat("/charge", 0644);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::uint8_t> data(kBytes, 0x44);
+  ASSERT_TRUE(bed.vfs().write(*fd, 0, data).ok());
+  ASSERT_TRUE(bed.vfs().fsync(*fd).ok());
+  std::vector<std::uint8_t> rd(kBytes);
+  ASSERT_TRUE(bed.vfs().read(*fd, 0, rd).ok());  // warm the caches
+
+  auto& pool = BufferPool::instance();
+  const BufferPool::CopyStats before = pool.copy_stats();
+  ASSERT_TRUE(bed.vfs().read(*fd, 0, rd).ok());
+  const BufferPool::CopyStats after = pool.copy_stats();
+  ASSERT_TRUE(bed.vfs().close(*fd).ok());
+
+  EXPECT_EQ(after.bytes_copied - before.bytes_copied, kBytes);
+  EXPECT_EQ(after.bytes_read - before.bytes_read, kBytes);
+  EXPECT_EQ(after.bytes_written, before.bytes_written);
+  // Two pages crossed the boundary: one charged copy per page, nothing
+  // below.
+  EXPECT_EQ(after.copies - before.copies, kBytes / block::kBlockSize);
+}
+
+}  // namespace
+}  // namespace netstore

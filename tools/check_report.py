@@ -14,8 +14,10 @@ Checks, per file:
   * every trace:* table: the per-component mean latencies sum to the
     total mean within 1 us (the paper's Table 4 breakdown criterion)
   * any "pool" snapshot (BufferPool telemetry, NETSTORE_POOL_STATS=1):
-    all four pool.* counters present, and alloc_fallbacks consistent
-    with slab capacity (every fallback consumes one fresh slab frame)
+    all eight pool.* counters present, alloc_fallbacks consistent with
+    slab capacity (every fallback consumes one fresh slab frame), and
+    bytes_copied <= bytes_read + bytes_written (with the zero-copy
+    plane on, every charged copy is a user-boundary crossing)
   * any snapshot whose label starts with "fleet": the fleet.* metric
     keys (ops counter, response/queue-delay/service samplers, per-client
     fairness sampler) present with consistent counts
@@ -111,12 +113,16 @@ POOL_KEYS = (
     "pool.shared_pages",
     "pool.unshare_ops",
     "pool.alloc_fallbacks",
+    "pool.copies",
+    "pool.bytes_copied",
+    "pool.bytes_read",
+    "pool.bytes_written",
 )
 FRAMES_PER_SLAB = 256  # core::BufferPool::kFramesPerSlab
 
 
 def check_pool_snapshot(path, metrics):
-    """BufferPool telemetry: all four counters, internally consistent."""
+    """BufferPool telemetry: all eight counters, internally consistent."""
     ok = True
     for key in POOL_KEYS:
         v = metrics.get(key)
@@ -135,6 +141,22 @@ def check_pool_snapshot(path, metrics):
     if slabs > 0 and fallbacks == 0:
         return fail(
             path, "pool snapshot: slabs exist but no alloc_fallbacks recorded"
+        )
+    # Zero-copy data plane (DESIGN.md section 19): with the plane on (the
+    # only mode that exports validated pool snapshots), every charged
+    # copy is a user-buffer boundary crossing, so the copied bytes can
+    # never exceed the bytes that crossed the read/write boundaries.
+    copied = metrics["pool.bytes_copied"]["value"]
+    boundary = (
+        metrics["pool.bytes_read"]["value"]
+        + metrics["pool.bytes_written"]["value"]
+    )
+    if copied > boundary:
+        return fail(
+            path,
+            f"pool snapshot: {copied} bytes_copied exceed "
+            f"{boundary} bytes_read + bytes_written — a below-boundary "
+            f"copy slipped past the zero-copy plane",
         )
     return True
 

@@ -33,6 +33,8 @@ const std::set<std::string> kRequiredRules = {
     // Ownership/aliasing family.
     "bufref-held", "poolframe-escape", "raii-temp", "manual-lock",
     "manual-suspend", "lock-order-cycle",
+    // Zero-copy data plane.
+    "raw-datapath-memcpy",
 };
 
 int usage() {

@@ -30,6 +30,17 @@
 //   manual-suspend         bare tracer .suspend()/.resume() outside
 //                          src/obs: same pairing hazard; use
 //                          obs::SuspendGuard.
+//   raw-datapath-memcpy    std::memcpy whose arguments touch BufRef /
+//                          pool-frame memory (.data(), .mutable_data(),
+//                          .mutable_block()) outside the pool and the
+//                          sanctioned helpers in core/iovec.h: the
+//                          zero-copy plane moves payload as shared
+//                          slices, and unmetered copies silently erode
+//                          it.  Use core::copy_out/copy_in at user
+//                          boundaries, core::charged_copy for legacy
+//                          staging, or suppress where a byte-small
+//                          sub-payload copy is semantically required
+//                          (ext3 indirect entries, parity folds).
 //   lock-order-cycle       two functions (possibly in different TUs)
 //                          acquire the same pair of locks in opposite
 //                          orders — the classic ABBA deadlock the
@@ -52,6 +63,13 @@ const std::set<std::string> kRaiiTypes = {"SuspendGuard", "lock_guard",
 bool is_pool_impl(const SourceFile& f) {
   return std::filesystem::path(f.path).filename().string().starts_with(
       "buffer_pool");
+}
+
+/// core/iovec.h owns the sanctioned copy helpers; its own memcpys are the
+/// metering points the rule funnels everyone else towards.
+bool is_iovec_impl(const SourceFile& f) {
+  return std::filesystem::path(f.path).filename().string().starts_with(
+      "iovec");
 }
 
 /// Token scan for the per-file ownership rules.  Statement boundaries are
@@ -160,6 +178,37 @@ void scan_tokens(const SourceFile& f, std::vector<Finding>& out) {
                                "nothing; name it so it lives to scope end"});
           }
         }
+      }
+    }
+
+    // --- raw-datapath-memcpy -------------------------------------------
+    if (t.text == "memcpy" && calls && f.in_src && !pool_impl &&
+        !is_iovec_impl(f)) {
+      // Scan the argument list: an accessor that yields frame memory
+      // (BufRef/BlockBuf .data(), .mutable_data(), .mutable_block())
+      // makes this a data-path copy that bypasses the metered helpers.
+      int depth = 0;
+      bool frame_arg = false;
+      for (std::size_t k = i + 1; k < ts.size() && ts[k].kind != Tok::kEof;
+           ++k) {
+        if (ts[k].text == "(") {
+          depth++;
+        } else if (ts[k].text == ")") {
+          if (--depth == 0) break;
+        } else if (ts[k].kind == Tok::kIdent && depth >= 1 && k > 0 &&
+                   (ts[k - 1].text == "." || ts[k - 1].text == "->") &&
+                   (ts[k].text == "data" || ts[k].text == "mutable_data" ||
+                    ts[k].text == "mutable_block")) {
+          frame_arg = true;
+        }
+      }
+      if (frame_arg) {
+        out.push_back({f.path, t.line, t.col, "raw-datapath-memcpy",
+                       "raw memcpy on BufRef/pool-frame memory bypasses the "
+                       "zero-copy plane's metering; use core::copy_out/"
+                       "copy_in at user boundaries or core::charged_copy "
+                       "for staging, or suppress where a sub-payload copy "
+                       "is semantically required"});
       }
     }
 
